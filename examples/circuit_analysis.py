@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Cyclic circuit analysis (Example 4.4): minimal vs maximal behaviour.
+
+Evaluates AND/OR circuits *with feedback loops* using pseudo-monotonic
+aggregation over a default-value predicate.  The default value decides
+how a cycle with no external drive settles:
+
+* default 0 on ``(B, ≤)`` — the paper's *minimal* behaviour: undriven
+  loops read false;
+* default 1 on ``(B, ≥)`` — the *maximal* behaviour the example sketches
+  ("change the default value for t from 0 to 1"): undriven loops read
+  true.  The default must be the lattice bottom (Section 2.3.2), so
+  maximal behaviour means the dual boolean lattice — and dually oriented
+  aggregate functions (AND becomes the monotonic one, OR the
+  pseudo-monotonic one).
+
+Run:  python examples/circuit_analysis.py
+"""
+
+from repro import Database
+
+MINIMAL = """
+    @pred gate/2.
+    @pred connect/2.
+    @cost input/2 : bool_le.
+    @default t/2 : bool_le.
+    @constraint gate(G, or), gate(G, and).
+    @constraint input(W, C), gate(W, T).
+    t(W, C) <- input(W, C).
+    t(G, C) <- gate(G, or),  C = or{D : connect(G, W), t(W, D)}.
+    t(G, C) <- gate(G, and), C = and_le{D : connect(G, W), t(W, D)}.
+"""
+
+# The dual program: lattice (B, ≥) has bottom 1, so the default is TRUE.
+# Against ≥, AND is the monotonic aggregate (Figure 1 row 5) and OR the
+# pseudo-monotonic one — the orientations swap with the order.
+MAXIMAL = """
+    @pred gate/2.
+    @pred connect/2.
+    @cost input/2 : bool_ge.
+    @default t/2 : bool_ge.
+    @constraint gate(G, or), gate(G, and).
+    @constraint input(W, C), gate(W, T).
+    t(W, C) <- input(W, C).
+    t(G, C) <- gate(G, and), C = and{D : connect(G, W), t(W, D)}.
+    t(G, C) <- gate(G, or),  C = or_ge{D : connect(G, W), t(W, D)}.
+"""
+
+#: An SR-latch-like core: two cross-coupled OR gates with one external
+#: input each, plus a self-feeding AND gate nobody drives.
+CIRCUIT = {
+    "gate": [("q", "or"), ("qbar", "or"), ("lonely", "and")],
+    "connect": [
+        ("q", "set"),
+        ("q", "qbar"),
+        ("qbar", "q"),
+        ("lonely", "lonely"),
+    ],
+}
+
+
+def evaluate(rules: str, inputs, *, maximal=False):
+    # The maximal orientation uses the built-in or_ge aggregate: OR viewed
+    # against (B, ≥) — pseudo-monotonic, admissible here because t is a
+    # default-value predicate (the dual of the and_le story).
+    db = Database(name="circuit")
+    db.load(rules)
+    for gate, kind in CIRCUIT["gate"]:
+        db.add_fact("gate", gate, kind)
+    for gate, wire in CIRCUIT["connect"]:
+        db.add_fact("connect", gate, wire)
+    for wire, value in inputs:
+        db.add_fact("input", wire, value)
+    result = db.solve()
+    default = 1 if maximal else 0
+    wires = ["set", "q", "qbar", "lonely"]
+    return {
+        w: next(
+            (v for (key,), v in result["t"].items() if key == w), default
+        )
+        for w in wires
+    }
+
+
+def main() -> None:
+    print("circuit: q = OR(set, qbar); qbar = OR(q); lonely = AND(lonely)")
+    print()
+    header = f"{'scenario':34s} {'set':>4} {'q':>3} {'qbar':>5} {'lonely':>7}"
+    print(header)
+    print("-" * len(header))
+    for label, inputs, maximal in [
+        ("minimal, set=0 (undriven loops)", [("set", 0)], False),
+        ("minimal, set=1 (latch fires)", [("set", 1)], False),
+        ("maximal, set=0 (loops float high)", [("set", 0)], True),
+    ]:
+        t = evaluate(MAXIMAL if maximal else MINIMAL, inputs, maximal=maximal)
+        print(
+            f"{label:34s} {t['set']:>4} {t['q']:>3} {t['qbar']:>5} "
+            f"{t['lonely']:>7}"
+        )
+
+    minimal_idle = evaluate(MINIMAL, [("set", 0)])
+    maximal_idle = evaluate(MAXIMAL, [("set", 0)], maximal=True)
+    assert minimal_idle["q"] == 0 and minimal_idle["lonely"] == 0
+    assert maximal_idle["q"] == 1 and maximal_idle["lonely"] == 1
+    fired = evaluate(MINIMAL, [("set", 1)])
+    assert fired["q"] == 1 and fired["qbar"] == 1 and fired["lonely"] == 0
+    print()
+    print("minimal behaviour: undriven feedback reads FALSE (default 0 = ⊥ of (B,≤));")
+    print("maximal behaviour: the dual lattice (B,≥) has bottom 1 — loops read TRUE.")
+
+
+if __name__ == "__main__":
+    main()

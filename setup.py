@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The package is fully described by pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments where PEP 517 build
+isolation cannot download a build backend.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — Monotonic Aggregation in Deductive Databases (Ross & Sagiv, PODS 1992).
+
+A complete lattice-Datalog engine reproducing the paper's semantics:
+aggregate subgoals over complete-lattice cost domains, minimal models of
+monotonic program components via Tarski/Kleene fixpoints, the full static
+analysis pipeline (safety, conflict-freedom, admissibility), and the
+Section 5 comparison semantics (well-founded, stable, r-monotonic,
+extrema-rewriting).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.load('''
+        @cost arc/3  : reals_ge.
+        @cost path/4 : reals_ge.
+        @cost s/3    : reals_ge.
+        @constraint arc(direct, Z, C).
+        path(X, direct, Y, C) <- arc(X, Y, C).
+        path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.
+    ''')
+    db.add_fact("arc", "a", "b", 1)
+    db.add_fact("arc", "b", "b", 0)
+    model = db.solve()
+    print(model["s"])   # shortest paths, Example 3.1's unique minimal model
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.database import Database  # noqa: E402  (public façade)
+from repro.core.api import analyze, solve_program  # noqa: E402
+
+__all__ = ["Database", "analyze", "solve_program", "__version__"]

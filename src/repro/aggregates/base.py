@@ -1,0 +1,109 @@
+"""Aggregate functions over multisets (Definition 2.4).
+
+An :class:`AggregateFunction` is a map ``F : M(D) → R`` from multisets over
+a cost domain ``D`` into a range ``R``, each equipped with a lattice
+(Section 4.1).  Instances carry:
+
+* ``domain`` / ``range_`` — the lattices ``(D, ⊑_D)`` and ``(R, ⊑_R)``;
+* ``classification`` — the *declared* monotonicity class used by the
+  admissibility check (Definition 4.5).  The declared class is verified
+  empirically by :mod:`repro.aggregates.monotonicity` in the test suite and
+  the Figure 1 benchmark, so a mis-declared function is caught.
+* ``has_empty_value`` — whether ``F(∅)`` is defined.  The ``=`` form of an
+  aggregate subgoal needs it (empty groups are semantically meaningful);
+  the ``=r`` form never evaluates ``F`` on the empty multiset
+  (Definition 2.4: a ground ``=r`` instance is *false* on the empty
+  multiset).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any
+
+from repro.lattices.base import Lattice
+from repro.util.multiset import FrozenMultiset
+
+
+class Monotonicity(enum.Enum):
+    """Monotonicity class of an aggregate function (Definitions 4.1, §4.1.1)."""
+
+    #: ``I ⊑_D I' ⇒ F(I) ⊑_R F(I')`` for all multisets.
+    MONOTONIC = "monotonic"
+    #: The implication holds for equal-cardinality multisets only.
+    PSEUDO_MONOTONIC = "pseudo-monotonic"
+    #: Neither.
+    NONMONOTONIC = "nonmonotonic"
+
+
+class EmptyAggregateError(ValueError):
+    """``F(∅)`` was requested for a function without an empty value."""
+
+
+class AggregateFunction(abc.ABC):
+    """A multiset aggregate ``F : M(D) → R`` with declared lattices.
+
+    Subclasses implement :meth:`apply_nonempty`; the public entry point
+    :meth:`__call__` handles the empty multiset uniformly.
+    """
+
+    #: Name used in rule text, e.g. ``C = min{D : p(X, D)}``.
+    name: str = "aggregate"
+
+    #: Declared monotonicity class; verified empirically in tests.
+    classification: Monotonicity = Monotonicity.NONMONOTONIC
+
+    #: Whether ``F(∅)`` is defined (see module docstring).
+    has_empty_value: bool = True
+
+    def __init__(self, domain: Lattice, range_: Lattice) -> None:
+        self.domain = domain
+        self.range_ = range_
+
+    # -- evaluation ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        """Evaluate ``F`` on a non-empty multiset."""
+
+    def empty_value(self) -> Any:
+        """``F(∅)``.
+
+        The default is the range's bottom, which is correct for every
+        monotonic function in Figure 1 (sum∅ = 0, max∅ = ⊥, count∅ = 0,
+        union∅ = ∅, intersection∅ = S, ...).  Functions without a defined
+        empty value set ``has_empty_value = False`` instead.
+        """
+        if not self.has_empty_value:
+            raise EmptyAggregateError(f"{self.name}(∅) is undefined")
+        return self.range_.bottom
+
+    def __call__(self, multiset: FrozenMultiset) -> Any:
+        if not multiset:
+            return self.empty_value()
+        return self.apply_nonempty(multiset)
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def is_monotonic(self) -> bool:
+        return self.classification is Monotonicity.MONOTONIC
+
+    @property
+    def is_pseudo_monotonic(self) -> bool:
+        """True for pseudo-monotonic *or* (a fortiori) monotonic functions.
+
+        Definition 4.1's property is implied by full monotonicity, and the
+        admissibility condition only ever asks "at least pseudo-monotonic".
+        """
+        return self.classification in (
+            Monotonicity.MONOTONIC,
+            Monotonicity.PSEUDO_MONOTONIC,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.name} : M({self.domain.name}) "
+            f"→ {self.range_.name} [{self.classification.value}]>"
+        )

@@ -1,0 +1,223 @@
+"""The multiset order ``⊑_D`` and empirical monotonicity checking (§4.1).
+
+``I ⊑_D I'`` holds iff there is an *injective* map ``m`` from the elements
+of ``I`` to the elements of ``I'`` with ``i ⊑_D m(i)``.  Two decision
+procedures:
+
+* **chains** — sort both multisets ⊑-descending; a saturating injection
+  exists iff the i-th largest element of ``I`` is ⊑ the i-th largest
+  element of ``I'`` for every i (a standard exchange argument);
+* **general partial orders** — maximum bipartite matching on the
+  compatibility graph (Hopcroft–Karp, :mod:`repro.util.matching`).
+
+The empirical checkers generate ⊑-related multiset pairs from a lattice's
+sample and report a verdict with a concrete counterexample when the
+declared monotonicity class fails.  They back the test suite and the
+Figure 1 benchmark; they are also how a user validates a custom aggregate
+before trusting the admissibility analysis with it.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.aggregates.base import AggregateFunction, Monotonicity
+from repro.lattices.base import Lattice
+from repro.util.matching import has_saturating_matching
+from repro.util.multiset import FrozenMultiset
+
+
+def multiset_leq(
+    lattice: Lattice, smaller: FrozenMultiset, larger: FrozenMultiset
+) -> bool:
+    """Decide ``smaller ⊑_D larger`` under ``lattice``'s order.
+
+    >>> from repro.lattices import REALS_LE
+    >>> multiset_leq(REALS_LE, FrozenMultiset([1, 2]), FrozenMultiset([2, 3]))
+    True
+    >>> multiset_leq(REALS_LE, FrozenMultiset([1, 1]), FrozenMultiset([5]))
+    False
+    """
+    if len(smaller) > len(larger):
+        return False
+    if not smaller:
+        return True
+    if lattice.is_chain:
+        return _chain_multiset_leq(lattice, smaller, larger)
+    return _matching_multiset_leq(lattice, smaller, larger)
+
+
+def _sorted_descending(lattice: Lattice, multiset: FrozenMultiset) -> List[Any]:
+    def compare(a: Any, b: Any) -> int:
+        if lattice.equivalent(a, b):
+            return 0
+        return -1 if lattice.leq(b, a) else 1
+
+    return sorted(multiset, key=functools.cmp_to_key(compare))
+
+
+def _chain_multiset_leq(
+    lattice: Lattice, smaller: FrozenMultiset, larger: FrozenMultiset
+) -> bool:
+    left = _sorted_descending(lattice, smaller)
+    right = _sorted_descending(lattice, larger)
+    return all(lattice.leq(a, b) for a, b in zip(left, right))
+
+
+def _matching_multiset_leq(
+    lattice: Lattice, smaller: FrozenMultiset, larger: FrozenMultiset
+) -> bool:
+    left = list(smaller)
+    right = list(larger)
+    adjacency = [
+        [j for j, b in enumerate(right) if lattice.leq(a, b)] for a in left
+    ]
+    return has_saturating_matching(len(left), len(right), adjacency)
+
+
+# ---------------------------------------------------------------------------
+# Empirical verification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MonotonicityVerdict:
+    """Result of empirically probing an aggregate function."""
+
+    function_name: str
+    property_checked: str  # "monotonic" or "pseudo-monotonic"
+    pairs_checked: int
+    holds: bool
+    counterexample: Optional[Tuple[FrozenMultiset, FrozenMultiset, Any, Any]] = None
+
+    def __str__(self) -> str:
+        status = "HOLDS" if self.holds else "FAILS"
+        line = (
+            f"{self.function_name}: {self.property_checked} {status} "
+            f"({self.pairs_checked} pairs)"
+        )
+        if self.counterexample is not None:
+            i, i2, fi, fi2 = self.counterexample
+            line += f"  counterexample: F({sorted(i, key=repr)}) = {fi!r} " \
+                    f"⋢ F({sorted(i2, key=repr)}) = {fi2!r}"
+        return line
+
+
+def _sample_elements(lattice: Lattice, limit: int = 8) -> List[Any]:
+    provided = lattice.sample()
+    if provided is None:
+        raise ValueError(
+            f"lattice {lattice.name} has no sample; cannot probe empirically"
+        )
+    return list(itertools.islice(provided, limit))
+
+
+def related_multiset_pairs(
+    lattice: Lattice,
+    *,
+    max_size: int = 3,
+    same_cardinality: bool = False,
+    rng: random.Random | None = None,
+    extra_random: int = 60,
+) -> List[Tuple[FrozenMultiset, FrozenMultiset]]:
+    """Generate ``(I, I')`` pairs with ``I ⊑_D I'``.
+
+    Systematic small pairs (every multiset over a truncated sample up to
+    ``max_size``, paired when related) plus ``extra_random`` randomized
+    bump-and-extend pairs.  With ``same_cardinality`` only equal-size pairs
+    are produced (for pseudo-monotonicity probing, Definition 4.1).
+    """
+    rng = rng or random.Random(92)  # deterministic: PODS '92
+    elements = _sample_elements(lattice)
+    small = elements[:4]
+
+    multisets: List[FrozenMultiset] = []
+    for size in range(0, max_size + 1):
+        for combo in itertools.combinations_with_replacement(small, size):
+            multisets.append(FrozenMultiset(combo))
+
+    pairs: List[Tuple[FrozenMultiset, FrozenMultiset]] = []
+    for a, b in itertools.product(multisets, repeat=2):
+        if same_cardinality and len(a) != len(b):
+            continue
+        if not same_cardinality and len(a) > len(b):
+            continue
+        if multiset_leq(lattice, a, b):
+            pairs.append((a, b))
+
+    for _ in range(extra_random):
+        base = [rng.choice(elements) for _ in range(rng.randint(1, max_size))]
+        bumped = []
+        for v in base:
+            above = [u for u in elements if lattice.leq(v, u)]
+            bumped.append(rng.choice(above) if above else v)
+        if not same_cardinality and rng.random() < 0.5:
+            bumped.append(rng.choice(elements))
+        pairs.append((FrozenMultiset(base), FrozenMultiset(bumped)))
+    return pairs
+
+
+def _probe(
+    function: AggregateFunction,
+    pairs: Sequence[Tuple[FrozenMultiset, FrozenMultiset]],
+    property_name: str,
+) -> MonotonicityVerdict:
+    for smaller, larger in pairs:
+        try:
+            f_small = function(smaller)
+            f_large = function(larger)
+        except ValueError:
+            continue  # e.g. average(∅): the pair is outside F's domain
+        if not function.range_.leq(f_small, f_large):
+            return MonotonicityVerdict(
+                function_name=function.name,
+                property_checked=property_name,
+                pairs_checked=len(pairs),
+                holds=False,
+                counterexample=(smaller, larger, f_small, f_large),
+            )
+    return MonotonicityVerdict(
+        function_name=function.name,
+        property_checked=property_name,
+        pairs_checked=len(pairs),
+        holds=True,
+    )
+
+
+def verify_monotonic(
+    function: AggregateFunction, *, max_size: int = 3
+) -> MonotonicityVerdict:
+    """Empirically probe full monotonicity (Definition in §4.1)."""
+    pairs = related_multiset_pairs(function.domain, max_size=max_size)
+    return _probe(function, pairs, "monotonic")
+
+
+def verify_pseudo_monotonic(
+    function: AggregateFunction, *, max_size: int = 3
+) -> MonotonicityVerdict:
+    """Empirically probe pseudo-monotonicity (Definition 4.1)."""
+    pairs = related_multiset_pairs(
+        function.domain, max_size=max_size, same_cardinality=True
+    )
+    return _probe(function, pairs, "pseudo-monotonic")
+
+
+def verify_declared_class(function: AggregateFunction) -> List[MonotonicityVerdict]:
+    """Check that a function's behaviour matches its declared class.
+
+    Returns the verdicts that must hold for the declaration to be sound:
+    a MONOTONIC function must pass both probes; a PSEUDO_MONOTONIC one must
+    pass the fixed-cardinality probe.  (A NONMONOTONIC declaration asserts
+    nothing, so nothing is checked.)
+    """
+    verdicts: List[MonotonicityVerdict] = []
+    if function.classification is Monotonicity.MONOTONIC:
+        verdicts.append(verify_monotonic(function))
+        verdicts.append(verify_pseudo_monotonic(function))
+    elif function.classification is Monotonicity.PSEUDO_MONOTONIC:
+        verdicts.append(verify_pseudo_monotonic(function))
+    return verdicts

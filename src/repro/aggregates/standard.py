@@ -1,0 +1,362 @@
+"""The aggregate functions of Figure 1, plus the paper's extras.
+
+Each class fixes the lattices of its Figure 1 row by default; the two
+boolean aggregates and the two extrema come in *both* orientations because
+the paper uses both (``AND`` is monotonic on ``(B, ≥)`` — row 5 — but only
+pseudo-monotonic on ``(B, ≤)``, which is the orientation the circuit
+program of Example 4.4 needs; dually for ``min``/``max``, §4.1.1).
+
+``average`` (Example 2.1) and ``halfsum`` (Example 5.1) round out the set:
+``average`` is pseudo-monotonic with no empty value, ``halfsum`` is fully
+monotonic and drives the beyond-ω iteration example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable
+
+from repro.aggregates.base import AggregateFunction, Monotonicity
+from repro.lattices import (
+    BOOL_GE,
+    BOOL_LE,
+    INF,
+    NATURALS_LE,
+    NONNEG_REALS_LE,
+    POS_INTS_LE,
+    REALS_GE,
+    REALS_LE,
+)
+from repro.lattices.base import Lattice
+from repro.lattices.sets import PowersetIntersection, PowersetUnion
+from repro.util.multiset import FrozenMultiset
+
+
+class Minimum(AggregateFunction):
+    """``min`` on ``(R ∪ {±∞}, ≥)`` — Figure 1 row 3.  ``min(∅) = +∞``.
+
+    Under the ≥ order, growing the multiset can only *lower* the numeric
+    minimum, which is a ⊑-increase — hence monotonic.
+    """
+
+    name = "min"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self, domain: Lattice | None = None) -> None:
+        lattice = domain or REALS_GE
+        super().__init__(lattice, lattice)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        return min(multiset.support())
+
+
+class MinimumAscending(Minimum):
+    """``min`` viewed against the ≤ order: pseudo-monotonic only (§4.1.1)."""
+
+    name = "min_le"
+    classification = Monotonicity.PSEUDO_MONOTONIC
+
+    def __init__(self) -> None:
+        AggregateFunction.__init__(self, REALS_LE, REALS_LE)
+
+    def empty_value(self) -> Any:
+        # min over (R, ≤) has no sensible ∅ value below every element
+        # except -∞ = ⊥, which the default provides.
+        return self.range_.bottom
+
+
+class Maximum(AggregateFunction):
+    """``max`` on ``(R ∪ {±∞}, ≤)`` — Figure 1 row 1.  ``max(∅) = -∞``."""
+
+    name = "max"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self, domain: Lattice | None = None) -> None:
+        lattice = domain or REALS_LE
+        super().__init__(lattice, lattice)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        return max(multiset.support())
+
+
+class MaximumNonNegative(Maximum):
+    """``max`` on ``(R* ∪ {∞}, ≤)`` — Figure 1 row 2.  ``max(∅) = 0``."""
+
+    name = "max_nonneg"
+
+    def __init__(self) -> None:
+        AggregateFunction.__init__(self, NONNEG_REALS_LE, NONNEG_REALS_LE)
+
+
+class MaximumDescending(Maximum):
+    """``max`` viewed against the ≥ order: pseudo-monotonic only (§4.1.1)."""
+
+    name = "max_ge"
+    classification = Monotonicity.PSEUDO_MONOTONIC
+
+    def __init__(self) -> None:
+        AggregateFunction.__init__(self, REALS_GE, REALS_GE)
+
+
+class Sum(AggregateFunction):
+    """``sum`` on ``(R* ∪ {∞}, ≤)`` — Figure 1 row 4.  ``sum(∅) = 0``.
+
+    Only non-negative values keep ``sum`` monotonic: adding an element can
+    then only increase the total.
+    """
+
+    name = "sum"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self, domain: Lattice | None = None) -> None:
+        lattice = domain or NONNEG_REALS_LE
+        super().__init__(lattice, lattice)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        total = 0.0
+        for value, count in multiset.items():
+            if value == INF:
+                return INF
+            total += value * count
+        # Keep integer totals integral so interpretations print cleanly.
+        if total == int(total) and not math.isinf(total):
+            as_int = int(total)
+            if all(isinstance(v, int) for v in multiset.support()):
+                return as_int
+        return total
+
+
+class HalfSum(Sum):
+    """``halfsum`` — half the sum, monotonic on ``(R*, ≤)`` (Example 5.1)."""
+
+    name = "halfsum"
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        total = Sum.apply_nonempty(self, multiset)
+        return INF if total == INF else total / 2
+
+
+class Count(AggregateFunction):
+    """``count`` — Figure 1 row 8: ``M(B) → (N ∪ {∞}, ≤)``.
+
+    Counts elements regardless of their value, so it is monotonic over any
+    domain lattice; the Figure 1 row fixes ``D = (B, ≤)``.
+    """
+
+    name = "count"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self, domain: Lattice | None = None) -> None:
+        super().__init__(domain or BOOL_LE, NATURALS_LE)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        return len(multiset)
+
+
+class Product(AggregateFunction):
+    """``product`` on ``(N⁺ ∪ {∞}, ≤)`` — Figure 1 row 7.  ``product(∅) = 1``.
+
+    Positivity (≥ 1) is what keeps multiplication monotone.
+    """
+
+    name = "product"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self) -> None:
+        super().__init__(POS_INTS_LE, POS_INTS_LE)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        total: Any = 1
+        for value, count in multiset.items():
+            if value == INF:
+                return INF
+            total *= value**count
+        return total
+
+
+class LogicalAnd(AggregateFunction):
+    """``AND`` on ``(B, ≥)`` — Figure 1 row 5: monotonic.  ``AND(∅) = 1``."""
+
+    name = "and"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self) -> None:
+        super().__init__(BOOL_GE, BOOL_GE)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        return 1 if all(int(v) == 1 for v in multiset.support()) else 0
+
+
+class LogicalAndAscending(LogicalAnd):
+    """``AND`` against ``(B, ≤)``: pseudo-monotonic (§4.1.1, Example 4.4).
+
+    ``AND({1}) = 1`` but ``AND({0, 1}) = 0`` — so adding elements can shrink
+    the result; with a *fixed* multiset size (default-value predicates) it
+    is monotone.  ``AND(∅) = 1``, the usual empty-conjunction convention —
+    note this is ⊤ of ``(B, ≤)``, not ⊥, which is precisely why ``AND``
+    cannot be used monotonically with the ``=`` form over growing groups.
+    """
+
+    name = "and_le"
+    classification = Monotonicity.PSEUDO_MONOTONIC
+
+    def __init__(self) -> None:
+        AggregateFunction.__init__(self, BOOL_LE, BOOL_LE)
+
+    def empty_value(self) -> Any:
+        return 1
+
+
+class LogicalOr(AggregateFunction):
+    """``OR`` on ``(B, ≤)`` — Figure 1 row 6: monotonic.  ``OR(∅) = 0``."""
+
+    name = "or"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self) -> None:
+        super().__init__(BOOL_LE, BOOL_LE)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        return 1 if any(int(v) == 1 for v in multiset.support()) else 0
+
+
+class LogicalOrDescending(LogicalOr):
+    """``OR`` against ``(B, ≥)``: pseudo-monotonic (the §4.1.1 dual of
+    ``and_le``).  Used for *maximal* circuit behaviour, where the lattice
+    bottom — and hence the default wire value — is 1 (Example 4.4's
+    closing remark); sound over default-value predicates exactly like
+    ``and_le`` is in the minimal orientation.  ``OR(∅) = 0`` (the empty
+    disjunction), which is ⊤ of ``(B, ≥)`` — the same asymmetry that
+    makes it only pseudo-monotonic."""
+
+    name = "or_ge"
+    classification = Monotonicity.PSEUDO_MONOTONIC
+
+    def __init__(self) -> None:
+        AggregateFunction.__init__(self, BOOL_GE, BOOL_GE)
+
+    def empty_value(self) -> Any:
+        return 0
+
+
+class Union(AggregateFunction):
+    """``union`` on ``(2^S, ⊆)`` — Figure 1 row 9.  ``union(∅) = ∅``."""
+
+    name = "union"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self, universe: Iterable[Any]) -> None:
+        lattice = PowersetUnion(universe)
+        super().__init__(lattice, lattice)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        out: frozenset = frozenset()
+        for s in multiset.support():
+            out |= frozenset(s)
+        return out
+
+
+class Intersection(AggregateFunction):
+    """``intersection`` on ``(2^S, ⊇)`` — Figure 1 row 10.
+
+    ``intersection(∅) = S`` (the empty intersection is the whole universe —
+    which is ⊥ of the ⊇-ordered lattice, so the bottom-default applies).
+    """
+
+    name = "intersection"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(self, universe: Iterable[Any]) -> None:
+        lattice = PowersetIntersection(universe)
+        super().__init__(lattice, lattice)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        values = [frozenset(s) for s in multiset.support()]
+        out = values[0]
+        for s in values[1:]:
+            out &= s
+        return out
+
+
+class GraphProperty(AggregateFunction):
+    """A monotone multigraph property ``P`` — Figure 1 row 11.
+
+    The aggregated multiset *is* the multigraph: each multiset element is an
+    edge (or edge set), and ``P`` maps the whole multigraph to a boolean.
+    ``predicate`` receives the multigraph as a frozenset of edges joined
+    across the multiset and must be monotone increasing (more edges never
+    turn the property off) for the declared classification to hold.
+    """
+
+    name = "graph_property"
+    classification = Monotonicity.MONOTONIC
+
+    def __init__(
+        self,
+        predicate: Callable[[frozenset], bool],
+        edge_universe: Iterable[Any],
+        name: str | None = None,
+    ) -> None:
+        super().__init__(PowersetUnion(edge_universe), BOOL_LE)
+        self.predicate = predicate
+        if name:
+            self.name = name
+
+    def _as_edges(self, value: Any) -> frozenset:
+        if isinstance(value, (set, frozenset)):
+            return frozenset(value)
+        return frozenset([value])
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        graph: frozenset = frozenset()
+        for value in multiset.support():
+            graph |= self._as_edges(value)
+        return 1 if self.predicate(graph) else 0
+
+    def empty_value(self) -> Any:
+        return 1 if self.predicate(frozenset()) else 0
+
+
+class Average(AggregateFunction):
+    """``average`` (Example 2.1): pseudo-monotonic on ``(R, ≤)``, no ∅ value.
+
+    The paper only ever uses ``average`` with the ``=r`` form (SQL does not
+    aggregate empty groups), matching ``has_empty_value = False``.
+    """
+
+    name = "average"
+    classification = Monotonicity.PSEUDO_MONOTONIC
+    has_empty_value = False
+
+    def __init__(self) -> None:
+        super().__init__(REALS_LE, REALS_LE)
+
+    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
+        total = sum(value * count for value, count in multiset.items())
+        return total / len(multiset)
+
+
+def default_registry() -> dict:
+    """Name → fresh instance for every non-parametric aggregate.
+
+    Used by the parser to resolve aggregate names in rule text; parametric
+    aggregates (union/intersection/graph properties need a universe) must
+    be registered explicitly on the :class:`~repro.core.database.Database`.
+    """
+    functions = [
+        Minimum(),
+        MinimumAscending(),
+        Maximum(),
+        MaximumNonNegative(),
+        MaximumDescending(),
+        Sum(),
+        HalfSum(),
+        Count(),
+        Product(),
+        LogicalAnd(),
+        LogicalAndAscending(),
+        LogicalOr(),
+        LogicalOrDescending(),
+        Average(),
+    ]
+    return {f.name: f for f in functions}

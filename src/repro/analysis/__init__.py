@@ -1,0 +1,112 @@
+"""Static analysis: safety, conflict-freedom, admissibility, stratification."""
+
+from repro.analysis.admissible import (
+    ComponentAdmissibility,
+    RuleAdmissibility,
+    check_component_admissible,
+    check_program_admissible,
+    check_rule_admissible,
+    is_program_admissible,
+)
+from repro.analysis.builtins_mono import (
+    BuiltinMonotonicityReport,
+    check_builtin_monotonicity,
+)
+from repro.analysis.conflict import (
+    ConflictReport,
+    check_conflict_freedom,
+    check_pair,
+    is_conflict_free,
+    rename_apart,
+)
+from repro.analysis.dependencies import (
+    Component,
+    DependencyEdge,
+    EdgeKind,
+    condense,
+    dependency_edges,
+    is_aggregate_stratified,
+    is_negation_stratified,
+)
+from repro.analysis.fd import (
+    CostRespectReport,
+    FunctionalDependency,
+    all_rules_cost_respecting,
+    check_rule_cost_respecting,
+    fd_closure,
+    rule_functional_dependencies,
+)
+from repro.analysis.report import AnalysisReport, analyze_program
+from repro.analysis.termination import (
+    TerminationReport,
+    TerminationVerdict,
+    check_component_termination,
+    check_program_termination,
+)
+from repro.analysis.rmonotonic import (
+    RMonotonicReport,
+    check_program_r_monotonic,
+    check_rule_r_monotonic,
+    is_r_monotonic,
+)
+from repro.analysis.safety import (
+    SafetyReport,
+    check_program_safety,
+    check_rule_safety,
+    is_range_restricted,
+    limited_variables,
+    quasi_limited_variables,
+)
+from repro.analysis.wellformed import (
+    FormReport,
+    cdb_cost_variables,
+    check_rule_form,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_program",
+    "TerminationReport",
+    "TerminationVerdict",
+    "check_component_termination",
+    "check_program_termination",
+    "Component",
+    "DependencyEdge",
+    "EdgeKind",
+    "condense",
+    "dependency_edges",
+    "is_aggregate_stratified",
+    "is_negation_stratified",
+    "SafetyReport",
+    "check_program_safety",
+    "check_rule_safety",
+    "is_range_restricted",
+    "limited_variables",
+    "quasi_limited_variables",
+    "CostRespectReport",
+    "FunctionalDependency",
+    "all_rules_cost_respecting",
+    "check_rule_cost_respecting",
+    "fd_closure",
+    "rule_functional_dependencies",
+    "ConflictReport",
+    "check_conflict_freedom",
+    "check_pair",
+    "is_conflict_free",
+    "rename_apart",
+    "FormReport",
+    "cdb_cost_variables",
+    "check_rule_form",
+    "BuiltinMonotonicityReport",
+    "check_builtin_monotonicity",
+    "ComponentAdmissibility",
+    "RuleAdmissibility",
+    "check_component_admissible",
+    "check_program_admissible",
+    "check_rule_admissible",
+    "is_program_admissible",
+    "RMonotonicReport",
+    "check_program_r_monotonic",
+    "check_rule_r_monotonic",
+    "is_r_monotonic",
+]

@@ -1,0 +1,309 @@
+"""Syntactic sufficient check that a rule's built-in conjunction ``E_r`` is
+monotonic (Definitions 4.3–4.4).
+
+The paper defines monotonicity of ``E_r`` semantically and notes that "in
+practice, we need some simple conditions for checking that E_r is
+monotonic".  This module implements such conditions as a direction-tag
+dataflow:
+
+* every variable occurring in the non-built-in body subgoals gets an
+  initial tag — ``FIXED`` (equal under both assignments of Definition 4.3)
+  for ordinary variables, ``VARIES(d)`` for CDB cost variables, where
+  ``d ∈ {+1, -1}`` says in which *numeric* direction a ⊑-increase moves
+  the value (the lattice's ``numeric_direction``);
+* *defining* equalities ``V = expr`` (where ``V`` is otherwise unbound)
+  extend the tagging by a polarity analysis of ``expr``;
+* *constraint* built-ins must provably stay satisfied when ``VARIES``
+  variables move in their directions (e.g. ``N > 0.5`` with ``N`` varying
+  upward);
+* finally the head cost variable's tag must move in the head lattice's
+  direction (or be fixed), giving ``σ1(v_h) ⊑ σ'2(v_h)``.
+
+Anything the analysis cannot certify is reported as a violation — the
+check is *sufficient*, never necessary, exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.analysis.wellformed import _is_cdb_aggregate
+from repro.datalog.atoms import AggregateSubgoal, AtomSubgoal, BuiltinSubgoal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Expr, Variable, expr_variable_set
+
+
+@dataclass(frozen=True)
+class Tag:
+    """Direction tag of a variable or expression.
+
+    ``kind`` is one of ``"fixed"``, ``"varies"``, ``"unknown"``;
+    ``direction`` is ±1 for numeric ``varies`` tags and None for
+    non-numeric lattices (set-valued, chains, ...), where the variable may
+    ⊑-increase but supports no arithmetic reasoning; ``lattice`` records
+    which lattice the variation lives in, so an identity flow into a head
+    of the *same* lattice is recognised as monotone even without a
+    numeric direction.
+    """
+
+    kind: str
+    direction: Optional[int] = None
+    lattice: Optional[object] = None
+
+    def __str__(self) -> str:
+        if self.kind == "varies":
+            if self.direction is None:
+                return "varies(⊑)"
+            arrow = "↑" if self.direction == 1 else "↓"
+            return f"varies{arrow}"
+        return self.kind
+
+
+FIXED = Tag("fixed")
+UNKNOWN = Tag("unknown")
+
+
+def varies(direction: Optional[int], lattice: Optional[object] = None) -> Tag:
+    return Tag("varies", direction, lattice)
+
+
+def _negate(tag: Tag) -> Tag:
+    if tag.kind == "varies":
+        if tag.direction is None:
+            return UNKNOWN  # non-numeric variation cannot enter arithmetic
+        return varies(-tag.direction)
+    return tag
+
+
+def _combine_additive(a: Tag, b: Tag) -> Tag:
+    if a.kind == "unknown" or b.kind == "unknown":
+        return UNKNOWN
+    for tag in (a, b):
+        if tag.kind == "varies" and tag.direction is None:
+            return UNKNOWN  # non-numeric variation cannot enter arithmetic
+    if a.kind == "fixed":
+        return b
+    if b.kind == "fixed":
+        return a
+    return (
+        varies(a.direction) if a.direction == b.direction else UNKNOWN
+    )
+
+
+def _const_sign(expr: Expr) -> Optional[int]:
+    """+1 / -1 / 0 for numeric constant leaves; None otherwise."""
+    if isinstance(expr, Constant) and isinstance(expr.value, (int, float)):
+        if expr.value > 0:
+            return 1
+        if expr.value < 0:
+            return -1
+        return 0
+    return None
+
+
+def expr_tag(expr: Expr, tags: Dict[Variable, Tag]) -> Tag:
+    """Polarity analysis of an arithmetic expression under ``tags``.
+
+    Unbound variables yield ``UNKNOWN`` (the caller decides whether the
+    expression was allowed to contain them).
+    """
+    if isinstance(expr, Constant):
+        return FIXED
+    if isinstance(expr, Variable):
+        return tags.get(expr, UNKNOWN)
+    left = expr_tag(expr.left, tags)
+    right = expr_tag(expr.right, tags)
+    if expr.op == "+":
+        return _combine_additive(left, right)
+    if expr.op == "-":
+        return _combine_additive(left, _negate(right))
+    if expr.op == "*":
+        if left.kind == "fixed" and right.kind == "fixed":
+            return FIXED
+        for moving, other_expr, other_tag in (
+            (left, expr.right, right),
+            (right, expr.left, left),
+        ):
+            if moving.kind == "varies" and other_tag.kind == "fixed":
+                sign = _const_sign(other_expr)
+                if sign is None:
+                    return UNKNOWN
+                if sign == 0:
+                    return FIXED
+                assert moving.direction is not None
+                return varies(moving.direction * sign)
+        return UNKNOWN
+    # division
+    denominator_sign = _const_sign(expr.right)
+    if right.kind == "fixed" and denominator_sign in (1, -1):
+        if left.kind == "fixed":
+            return FIXED
+        if left.kind == "varies":
+            assert left.direction is not None
+            return varies(left.direction * denominator_sign)
+    if left.kind == "fixed" and right.kind == "fixed":
+        return FIXED
+    return UNKNOWN
+
+
+def _initial_tags(
+    rule: Rule, program: Program, cdb: FrozenSet[str]
+) -> tuple[Dict[Variable, Tag], List[str]]:
+    """Tags for every variable bound by the non-built-in body subgoals."""
+    tags: Dict[Variable, Tag] = {}
+    problems: List[str] = []
+
+    def tag_cost_var(atom, predicate_in_cdb: bool) -> None:
+        decl = program.decl(atom.predicate)
+        if not decl.is_cost_predicate:
+            return
+        cost = atom.args[-1]
+        if not isinstance(cost, Variable):
+            return
+        assert decl.lattice is not None
+        if predicate_in_cdb:
+            tags[cost] = varies(decl.lattice.numeric_direction, decl.lattice)
+        else:
+            tags.setdefault(cost, FIXED)
+
+    for sg in rule.body:
+        if isinstance(sg, AtomSubgoal):
+            for v in sg.atom.variables():
+                tags.setdefault(v, FIXED)
+            tag_cost_var(sg.atom, sg.atom.predicate in cdb)
+        elif isinstance(sg, AggregateSubgoal):
+            for conjunct in sg.conjuncts:
+                for v in conjunct.variables():
+                    tags.setdefault(v, FIXED)
+            if isinstance(sg.result, Variable):
+                function = program.aggregate_function(sg.function)
+                if _is_cdb_aggregate(sg, cdb):
+                    tags[sg.result] = varies(
+                        function.range_.numeric_direction, function.range_
+                    )
+                else:
+                    tags[sg.result] = FIXED
+    return tags, problems
+
+
+@dataclass
+class BuiltinMonotonicityReport:
+    """Outcome of the Definition 4.4 sufficient check for one rule."""
+
+    rule: Rule
+    violations: List[str] = field(default_factory=list)
+    tags: Dict[Variable, Tag] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_builtin_monotonicity(
+    rule: Rule, program: Program, cdb: FrozenSet[str]
+) -> BuiltinMonotonicityReport:
+    """Certify (or refuse to certify) that ``E_r`` is monotonic."""
+    report = BuiltinMonotonicityReport(rule)
+    tags, problems = _initial_tags(rule, program, cdb)
+    report.violations += problems
+
+    builtins = list(rule.builtin_subgoals())
+    constraints: List[BuiltinSubgoal] = []
+
+    # Pass 1 — defining equalities, processed to a fixpoint so chains such
+    # as "A = B + 1, C = A + D" resolve in any order.
+    pending = list(builtins)
+    progress = True
+    while progress:
+        progress = False
+        still_pending: List[BuiltinSubgoal] = []
+        for sg in pending:
+            defined = None
+            if sg.op == "=":
+                if isinstance(sg.lhs, Variable) and sg.lhs not in tags:
+                    defined = (sg.lhs, sg.rhs)
+                elif isinstance(sg.rhs, Variable) and sg.rhs not in tags:
+                    defined = (sg.rhs, sg.lhs)
+            if defined is None:
+                still_pending.append(sg)
+                continue
+            var, expr = defined
+            if any(v not in tags for v in expr_variable_set(expr)):
+                # The defining expression itself awaits definitions; retry
+                # next round (chains such as "A = B + 1, C = A + D").
+                still_pending.append(sg)
+                continue
+            tags[var] = expr_tag(expr, tags)
+            progress = True
+        pending = still_pending
+    # Whatever could not act as a definition is a constraint; a pending
+    # equality over genuinely unbound variables yields UNKNOWN tags and
+    # fails the constraint check below, which is the right outcome.
+    constraints = pending
+
+    # Pass 2 — constraint built-ins must stay satisfied under variation.
+    for sg in constraints:
+        left = expr_tag(sg.lhs, tags)
+        right = expr_tag(sg.rhs, tags)
+        ok = _constraint_preserved(sg.op, left, right)
+        if not ok:
+            report.violations.append(
+                f"built-in {sg} not certifiably monotone "
+                f"(lhs {left}, rhs {right})"
+            )
+
+    # Pass 3 — the head cost variable must move in the head's direction.
+    head_decl = program.decl(rule.head.predicate)
+    if head_decl.is_cost_predicate:
+        head_cost = rule.head.args[-1]
+        if isinstance(head_cost, Variable):
+            assert head_decl.lattice is not None
+            head_direction = head_decl.lattice.numeric_direction
+            tag = tags.get(head_cost)
+            if tag is None:
+                report.violations.append(
+                    f"head cost variable {head_cost} is never bound"
+                )
+            elif tag.kind == "unknown":
+                report.violations.append(
+                    f"head cost variable {head_cost} has unknown direction"
+                )
+            elif tag.kind == "varies":
+                if tag.lattice is not None and tag.lattice == head_decl.lattice:
+                    pass  # identity flow within one lattice: monotone
+                elif head_direction is None or tag.direction is None:
+                    report.violations.append(
+                        f"head cost variable {head_cost} varies in a lattice "
+                        f"that cannot be aligned with the head's "
+                        f"({head_decl.lattice.name})"
+                    )
+                elif tag.direction != head_direction:
+                    report.violations.append(
+                        f"head cost variable {head_cost} varies against the "
+                        f"head lattice's order"
+                    )
+    report.tags = tags
+    return report
+
+
+def _constraint_preserved(op: str, left: Tag, right: Tag) -> bool:
+    """Can ``left op right`` be invalidated by the allowed variations?"""
+    if left.kind == "fixed" and right.kind == "fixed":
+        return True
+    if left.kind == "unknown" or right.kind == "unknown":
+        return False
+    for tag in (left, right):
+        if tag.kind == "varies" and tag.direction is None:
+            return False  # non-numeric variation in a numeric comparison
+    if op in ("=", "!="):
+        return False  # a varying side can break (or create) equality
+    if op in ("<", "<="):
+        left_ok = left.kind == "fixed" or left.direction == -1
+        right_ok = right.kind == "fixed" or right.direction == 1
+        return left_ok and right_ok
+    # op in (">", ">=")
+    left_ok = left.kind == "fixed" or left.direction == 1
+    right_ok = right.kind == "fixed" or right.direction == -1
+    return left_ok and right_ok

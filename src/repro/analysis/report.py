@@ -1,0 +1,119 @@
+"""One-call static analysis: the full pipeline of the paper's conditions.
+
+``analyze(program)`` runs, in order:
+
+1. range-restriction (Definition 2.5) per rule;
+2. cost-respecting (Definition 2.7) per rule;
+3. conflict-freedom (Definition 2.10) — implies cost consistency
+   (Lemma 2.3);
+4. component condensation + per-component admissibility (Definition 4.5)
+   — admissible components are monotonic (Lemma 4.1);
+5. classification extras: aggregate-stratified / negation-stratified
+   (Section 5.1) and r-monotonic (Section 5.2).
+
+The result renders as a readable report and exposes the booleans the
+engine consults (``Database.solve`` refuses non-admissible programs in
+strict mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.admissible import (
+    ComponentAdmissibility,
+    check_program_admissible,
+)
+from repro.analysis.conflict import ConflictReport, check_conflict_freedom
+from repro.analysis.dependencies import (
+    is_aggregate_stratified,
+    is_negation_stratified,
+)
+from repro.analysis.fd import CostRespectReport, check_rule_cost_respecting
+from repro.analysis.rmonotonic import is_r_monotonic
+from repro.analysis.safety import SafetyReport, check_program_safety
+from repro.datalog.program import Program
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the static pipeline learned about a program."""
+
+    program: Program
+    safety: List[SafetyReport] = field(default_factory=list)
+    cost_respecting: List[CostRespectReport] = field(default_factory=list)
+    conflict: ConflictReport = field(default_factory=ConflictReport)
+    components: List[ComponentAdmissibility] = field(default_factory=list)
+    aggregate_stratified: bool = False
+    negation_stratified: bool = False
+    r_monotonic: bool = False
+
+    @property
+    def range_restricted(self) -> bool:
+        return all(r.ok for r in self.safety)
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.conflict.ok
+
+    @property
+    def cost_consistent_certified(self) -> bool:
+        """Conflict-freedom is the paper's sufficient condition (Lemma 2.3)."""
+        return self.conflict_free
+
+    @property
+    def admissible(self) -> bool:
+        return all(c.ok for c in self.components)
+
+    @property
+    def monotonic_certified(self) -> bool:
+        """Admissible ⇒ monotonic (Lemma 4.1); per component, hence for the
+        iterated construction of Section 6.3."""
+        return self.admissible
+
+    @property
+    def ok(self) -> bool:
+        """Safe to solve strictly: finite groundings, consistent costs,
+        guaranteed unique minimal model per component."""
+        return (
+            self.range_restricted
+            and self.conflict_free
+            and self.admissible
+        )
+
+    def __str__(self) -> str:
+        lines = [f"analysis of {self.program.name}:"]
+        lines.append(f"  range-restricted:      {self.range_restricted}")
+        lines.append(f"  conflict-free:         {self.conflict_free}")
+        lines.append(f"  admissible/monotonic:  {self.admissible}")
+        lines.append(f"  aggregate-stratified:  {self.aggregate_stratified}")
+        lines.append(f"  negation-stratified:   {self.negation_stratified}")
+        lines.append(f"  r-monotonic (§5.2):    {self.r_monotonic}")
+        lines.append(f"  components ({len(self.components)}):")
+        for comp in self.components:
+            lines.append("    " + str(comp).replace("\n", "\n    "))
+        for r in self.safety:
+            if not r.ok:
+                lines.append("  " + str(r))
+        for r in self.cost_respecting:
+            if r.applicable and not r.ok:
+                lines.append("  " + str(r))
+        if not self.conflict.ok:
+            lines.append("  " + str(self.conflict).replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def analyze_program(program: Program) -> AnalysisReport:
+    """Run the full static pipeline on ``program``."""
+    report = AnalysisReport(program)
+    report.safety = check_program_safety(program)
+    report.cost_respecting = [
+        check_rule_cost_respecting(rule, program) for rule in program.rules
+    ]
+    report.conflict = check_conflict_freedom(program)
+    report.components = check_program_admissible(program)
+    report.aggregate_stratified = is_aggregate_stratified(program)
+    report.negation_stratified = is_negation_stratified(program)
+    report.r_monotonic = is_r_monotonic(program)
+    return report

@@ -1,0 +1,238 @@
+"""Well-typed and well-formed rules (Section 4.2, Definition 4.2).
+
+Both checks are relative to a *component*: the CDB is the set of mutually
+recursive predicates under analysis, and "CDB cost variable" means a
+variable in a cost argument of a CDB atom or the aggregate variable of a
+CDB aggregate subgoal.
+
+Well-typed (Section 4.2's typing discipline):
+
+* the multiset variable of an aggregate subgoal occurs only in cost
+  arguments of the conjuncts (Definition 2.4), and each such cost column's
+  lattice equals the aggregate function's declared domain;
+* a body cost variable copied directly into the head cost argument must
+  carry the head predicate's lattice;
+* an aggregate result placed directly in the head cost argument must carry
+  the aggregate function's range lattice.
+
+Well-formed (Definition 4.2):
+
+1. no built-ins inside aggregate subgoals — guaranteed structurally by the
+   AST, nothing to check;
+2. only variables in cost arguments of CDB predicates and on the left of
+   ``=``/``=r`` in aggregate subgoals;
+3. each CDB cost variable occurs at most once among the non-built-in body
+   subgoals (ignoring the multiset variable's defining occurrence after
+   the aggregate function, which the AST stores separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.datalog.atoms import (
+    AggregateSubgoal,
+    Atom,
+    AtomSubgoal,
+)
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+
+def cdb_cost_variables(
+    rule: Rule, program: Program, cdb: FrozenSet[str]
+) -> Set[Variable]:
+    """The CDB cost variables of ``rule`` (Section 4.2's definition)."""
+    out: Set[Variable] = set()
+
+    def cost_var_of(atom: Atom) -> None:
+        decl = program.decl(atom.predicate)
+        if decl.is_cost_predicate and atom.predicate in cdb:
+            cost = atom.args[-1]
+            if isinstance(cost, Variable):
+                out.add(cost)
+
+    cost_var_of(rule.head)
+    for sg in rule.body:
+        if isinstance(sg, AtomSubgoal):
+            cost_var_of(sg.atom)
+        elif isinstance(sg, AggregateSubgoal):
+            for conjunct in sg.conjuncts:
+                cost_var_of(conjunct)
+            if _is_cdb_aggregate(sg, cdb) and isinstance(sg.result, Variable):
+                out.add(sg.result)
+    return out
+
+
+def _is_cdb_aggregate(sg: AggregateSubgoal, cdb: FrozenSet[str]) -> bool:
+    """A CDB aggregate mentions at least one CDB predicate (Section 4.2)."""
+    return any(conjunct.predicate in cdb for conjunct in sg.conjuncts)
+
+
+@dataclass
+class FormReport:
+    """Violations of well-typedness / well-formedness for one rule."""
+
+    rule: Rule
+    type_violations: List[str] = field(default_factory=list)
+    form_violations: List[str] = field(default_factory=list)
+
+    @property
+    def well_typed(self) -> bool:
+        return not self.type_violations
+
+    @property
+    def well_formed(self) -> bool:
+        return not self.form_violations
+
+    @property
+    def ok(self) -> bool:
+        return self.well_typed and self.well_formed
+
+
+def check_well_typed(
+    rule: Rule, program: Program, report: FormReport
+) -> None:
+    """Typing checks (see module docstring)."""
+    head_decl = program.decl(rule.head.predicate)
+    head_cost = (
+        rule.head.args[-1]
+        if head_decl.is_cost_predicate and rule.head.args
+        else None
+    )
+
+    for sg in rule.aggregate_subgoals():
+        function = program.aggregate_function(sg.function)
+        if sg.multiset_var is not None:
+            occurrences_in_cost = 0
+            for conjunct in sg.conjuncts:
+                decl = program.decl(conjunct.predicate)
+                noncost = (
+                    conjunct.args[: decl.key_arity]
+                    if decl.is_cost_predicate
+                    else conjunct.args
+                )
+                if sg.multiset_var in noncost:
+                    report.type_violations.append(
+                        f"multiset variable {sg.multiset_var} occurs in a "
+                        f"non-cost argument of {conjunct}"
+                    )
+                if (
+                    decl.is_cost_predicate
+                    and conjunct.args[-1] == sg.multiset_var
+                ):
+                    occurrences_in_cost += 1
+                    assert decl.lattice is not None
+                    if decl.lattice != function.domain:
+                        report.type_violations.append(
+                            f"aggregate {sg.function} has domain "
+                            f"{function.domain.name} but {conjunct.predicate}'s "
+                            f"cost column is {decl.lattice.name}"
+                        )
+            if occurrences_in_cost == 0:
+                report.type_violations.append(
+                    f"multiset variable {sg.multiset_var} occurs in no cost "
+                    f"argument inside {sg}"
+                )
+        # Result flowing straight into the head cost argument.
+        if (
+            head_cost is not None
+            and isinstance(sg.result, Variable)
+            and sg.result == head_cost
+        ):
+            assert head_decl.lattice is not None
+            if function.range_ != head_decl.lattice:
+                report.type_violations.append(
+                    f"aggregate {sg.function} has range {function.range_.name} "
+                    f"but head {rule.head.predicate}'s cost column is "
+                    f"{head_decl.lattice.name}"
+                )
+
+    # Body cost variable copied straight into the head cost argument.
+    if head_cost is not None and isinstance(head_cost, Variable):
+        for sg in rule.atom_subgoals():
+            decl = program.decl(sg.atom.predicate)
+            if decl.is_cost_predicate and sg.atom.args[-1] == head_cost:
+                assert decl.lattice is not None and head_decl.lattice is not None
+                if decl.lattice != head_decl.lattice:
+                    report.type_violations.append(
+                        f"cost variable {head_cost} carries "
+                        f"{decl.lattice.name} (from {sg.atom.predicate}) but "
+                        f"the head column is {head_decl.lattice.name}"
+                    )
+
+
+def check_well_formed(
+    rule: Rule, program: Program, cdb: FrozenSet[str], report: FormReport
+) -> None:
+    """Definition 4.2's three restrictions."""
+    # (2) only variables in cost arguments of CDB predicates ...
+    def check_cost_is_variable(atom: Atom, where: str) -> None:
+        decl = program.decl(atom.predicate)
+        if (
+            decl.is_cost_predicate
+            and atom.predicate in cdb
+            and not isinstance(atom.args[-1], Variable)
+        ):
+            report.form_violations.append(
+                f"constant in the cost argument of CDB atom {atom} ({where})"
+            )
+
+    # Ground fact rules are exempt: a bodiless rule contributes a constant
+    # atom regardless of J, so it cannot break monotonicity (the paper's
+    # restriction targets heads whose cost flows from the body; it "can
+    # always be satisfied by adding built-in subgoals", which would be
+    # pure ceremony for facts).
+    if not (rule.is_fact and rule.head.is_ground()):
+        check_cost_is_variable(rule.head, "head")
+    for sg in rule.body:
+        if isinstance(sg, AtomSubgoal):
+            check_cost_is_variable(sg.atom, "body")
+        elif isinstance(sg, AggregateSubgoal):
+            for conjunct in sg.conjuncts:
+                check_cost_is_variable(conjunct, "aggregate conjunct")
+            # ... and to the left of the (restricted) equality sign.
+            if not isinstance(sg.result, Variable):
+                report.form_violations.append(
+                    f"constant {sg.result} on the left of {sg.equality_symbol} "
+                    f"in {sg}"
+                )
+
+    # (3) each CDB cost variable has at most one occurrence among the
+    # non-built-in body subgoals.
+    cdb_vars = cdb_cost_variables(rule, program, cdb)
+    counts: Dict[Variable, int] = {v: 0 for v in cdb_vars}
+
+    def count_in_atom(atom: Atom) -> None:
+        for arg in atom.args:
+            if isinstance(arg, Variable) and arg in counts:
+                counts[arg] += 1
+
+    for sg in rule.body:
+        if isinstance(sg, AtomSubgoal):
+            count_in_atom(sg.atom)
+        elif isinstance(sg, AggregateSubgoal):
+            for conjunct in sg.conjuncts:
+                count_in_atom(conjunct)
+            if isinstance(sg.result, Variable) and sg.result in counts:
+                counts[sg.result] += 1
+            # sg.multiset_var's slot is the ignored occurrence after F.
+
+    for v, n in sorted(counts.items(), key=lambda kv: kv[0].name):
+        if n > 1:
+            report.form_violations.append(
+                f"CDB cost variable {v} occurs {n} times among the "
+                f"non-built-in subgoals (at most one allowed)"
+            )
+
+
+def check_rule_form(
+    rule: Rule, program: Program, cdb: FrozenSet[str]
+) -> FormReport:
+    """Run both the typing and the well-formedness checks for one rule."""
+    report = FormReport(rule)
+    check_well_typed(rule, program, report)
+    check_well_formed(rule, program, cdb, report)
+    return report

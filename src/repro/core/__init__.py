@@ -1,0 +1,6 @@
+"""Public high-level API: the Database façade, builder DSL, one-shot helpers."""
+
+from repro.core.api import analyze, solve_program
+from repro.core.database import Database
+
+__all__ = ["Database", "analyze", "solve_program"]

@@ -1,0 +1,200 @@
+"""A fluent, operator-overloaded rule builder.
+
+For users who prefer Python over rule text.  Variables support arithmetic
+and comparisons, producing the same AST the parser builds::
+
+    from repro.core.builder import V, atom, agg_r, rule
+
+    X, Y, Z, C, C1, C2, D = V("X Y Z C C1 C2 D")
+    shortest = [
+        rule(atom("path", X, "direct", Y, C), atom("arc", X, Y, C)),
+        rule(
+            atom("path", X, Z, Y, C),
+            atom("s", X, Z, C1),
+            atom("arc", Z, Y, C2),
+            C == C1 + C2,
+        ),
+        rule(atom("s", X, Y, C), agg_r(C, "min", D, atom("path", X, Z, Y, D))),
+    ]
+
+The builder and the parser are round-trip-tested against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Tuple, Union
+
+from repro.datalog.atoms import (
+    AggregateSubgoal,
+    Atom,
+    AtomSubgoal,
+    BuiltinSubgoal,
+    Subgoal,
+)
+from repro.datalog.rules import IntegrityConstraint, Rule
+from repro.datalog.terms import ArithExpr, Constant, Expr, Variable
+
+
+class ExprProxy:
+    """Wraps an AST expression so Python operators build the AST."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr) -> None:
+        self.node = node
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _arith(self, op: str, other: Any, reflected: bool = False) -> "ExprProxy":
+        other_node = _to_expr(other)
+        if reflected:
+            return ExprProxy(ArithExpr(op, other_node, self.node))
+        return ExprProxy(ArithExpr(op, self.node, other_node))
+
+    def __add__(self, other: Any) -> "ExprProxy":
+        return self._arith("+", other)
+
+    def __radd__(self, other: Any) -> "ExprProxy":
+        return self._arith("+", other, reflected=True)
+
+    def __sub__(self, other: Any) -> "ExprProxy":
+        return self._arith("-", other)
+
+    def __rsub__(self, other: Any) -> "ExprProxy":
+        return self._arith("-", other, reflected=True)
+
+    def __mul__(self, other: Any) -> "ExprProxy":
+        return self._arith("*", other)
+
+    def __rmul__(self, other: Any) -> "ExprProxy":
+        return self._arith("*", other, reflected=True)
+
+    def __truediv__(self, other: Any) -> "ExprProxy":
+        return self._arith("/", other)
+
+    def __rtruediv__(self, other: Any) -> "ExprProxy":
+        return self._arith("/", other, reflected=True)
+
+    # -- comparisons (build subgoals) ----------------------------------------
+
+    def __eq__(self, other: Any) -> BuiltinSubgoal:  # type: ignore[override]
+        return BuiltinSubgoal("=", self.node, _to_expr(other))
+
+    def __ne__(self, other: Any) -> BuiltinSubgoal:  # type: ignore[override]
+        return BuiltinSubgoal("!=", self.node, _to_expr(other))
+
+    def __lt__(self, other: Any) -> BuiltinSubgoal:
+        return BuiltinSubgoal("<", self.node, _to_expr(other))
+
+    def __le__(self, other: Any) -> BuiltinSubgoal:
+        return BuiltinSubgoal("<=", self.node, _to_expr(other))
+
+    def __gt__(self, other: Any) -> BuiltinSubgoal:
+        return BuiltinSubgoal(">", self.node, _to_expr(other))
+
+    def __ge__(self, other: Any) -> BuiltinSubgoal:
+        return BuiltinSubgoal(">=", self.node, _to_expr(other))
+
+    def __hash__(self) -> int:
+        return hash(self.node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExprProxy({self.node})"
+
+
+def _to_expr(value: Any) -> Expr:
+    if isinstance(value, ExprProxy):
+        return value.node
+    if isinstance(value, (Variable, Constant, ArithExpr)):
+        return value
+    return Constant(value)
+
+
+def _to_term(value: Any):
+    node = _to_expr(value)
+    if isinstance(node, ArithExpr):
+        raise TypeError(
+            "atoms take terms, not arithmetic expressions; bind the "
+            "expression with a built-in subgoal first"
+        )
+    return node
+
+
+def V(names: str) -> Union[ExprProxy, Tuple[ExprProxy, ...]]:
+    """Variable factory: ``V("X")`` or ``X, Y = V("X Y")``."""
+    parts = names.split()
+    proxies = tuple(ExprProxy(Variable(p)) for p in parts)
+    return proxies[0] if len(proxies) == 1 else proxies
+
+
+def atom(predicate: str, *args: Any) -> Atom:
+    """Build an atom; plain Python values become constants."""
+    return Atom(predicate, tuple(_to_term(a) for a in args))
+
+
+def not_(target: Atom) -> AtomSubgoal:
+    """A negated atom subgoal."""
+    return AtomSubgoal(target, negated=True)
+
+
+def _aggregate(
+    result: Any,
+    function: str,
+    multiset_var: Any,
+    conjuncts: Iterable[Atom],
+    restricted: bool,
+) -> AggregateSubgoal:
+    ms = None
+    if multiset_var is not None:
+        node = _to_expr(multiset_var)
+        if not isinstance(node, Variable):
+            raise TypeError("the multiset variable must be a variable")
+        ms = node
+    return AggregateSubgoal(
+        result=_to_term(result),
+        function=function,
+        multiset_var=ms,
+        conjuncts=tuple(conjuncts),
+        restricted=restricted,
+    )
+
+
+def agg(
+    result: Any, function: str, multiset_var: Any, *conjuncts: Atom
+) -> AggregateSubgoal:
+    """An ``=``-form aggregate subgoal (pass ``None`` for implicit boolean
+    aggregation, e.g. ``agg(N, "count", None, atom("kc", X, Y))``)."""
+    return _aggregate(result, function, multiset_var, conjuncts, restricted=False)
+
+
+def agg_r(
+    result: Any, function: str, multiset_var: Any, *conjuncts: Atom
+) -> AggregateSubgoal:
+    """An ``=r``-form aggregate subgoal (false on empty groups)."""
+    return _aggregate(result, function, multiset_var, conjuncts, restricted=True)
+
+
+def rule(head: Atom, *body: Union[Subgoal, Atom], label: str | None = None) -> Rule:
+    """Build a rule; bare atoms in the body become positive subgoals."""
+    subgoals: List[Subgoal] = []
+    for sg in body:
+        if isinstance(sg, Atom):
+            subgoals.append(AtomSubgoal(sg))
+        elif isinstance(sg, Subgoal):
+            subgoals.append(sg)
+        else:
+            raise TypeError(f"not a subgoal: {sg!r}")
+    return Rule(head=head, body=tuple(subgoals), label=label)
+
+
+def constraint(*body: Union[Subgoal, Atom]) -> IntegrityConstraint:
+    """Build an integrity constraint (Definition 2.9)."""
+    subgoals: List[Subgoal] = []
+    for sg in body:
+        if isinstance(sg, Atom):
+            subgoals.append(AtomSubgoal(sg))
+        elif isinstance(sg, Subgoal):
+            subgoals.append(sg)
+        else:
+            raise TypeError(f"not a subgoal: {sg!r}")
+    return IntegrityConstraint(tuple(subgoals))

@@ -1,0 +1,178 @@
+"""Atoms and the three kinds of subgoals (Sections 2.2–2.3).
+
+A rule body mixes:
+
+* **atom subgoals** — possibly negated ordinary/cost atoms;
+* **built-in subgoals** — (in)equalities over arithmetic expressions
+  ("built-in predicates are equalities involving arithmetic expressions",
+  §2.2; comparisons like ``N > 0.5`` are included, as Example 2.7 uses
+  them);
+* **aggregate subgoals** — ``C = F E : p(...) ∧ q(...)`` or the restricted
+  ``C =r F E : ...`` form (Definition 2.4), with an optional multiset
+  variable (omitted when aggregating predicates with implicit boolean cost
+  arguments, §2.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterator, Optional, Tuple
+
+from repro.datalog.terms import (
+    Constant,
+    Expr,
+    Term,
+    Variable,
+    expr_variable_set,
+)
+
+#: Comparison operators allowed in built-in subgoals.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(arg_1, ..., arg_n)``.  For cost predicates the cost
+    argument is, by this library's convention (and the paper's), the last
+    argument."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return frozenset(self.variables())
+
+    def is_ground(self) -> bool:
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(map(str, self.args))})"
+
+
+def make_atom(predicate: str, *args: Any) -> Atom:
+    """Convenience constructor: wraps non-Term arguments as constants.
+
+    >>> str(make_atom("arc", "a", "b", 3))
+    "arc('a', 'b', 3)"
+    """
+    terms = tuple(
+        arg if isinstance(arg, (Variable, Constant)) else Constant(arg)
+        for arg in args
+    )
+    return Atom(predicate, terms)
+
+
+class Subgoal:
+    """Marker base class for the three subgoal kinds."""
+
+    def variable_set(self) -> FrozenSet[Variable]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AtomSubgoal(Subgoal):
+    """A possibly-negated ordinary or cost atom in a rule body."""
+
+    atom: Atom
+    negated: bool = False
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return self.atom.variable_set()
+
+    def __str__(self) -> str:
+        return ("not " if self.negated else "") + str(self.atom)
+
+
+@dataclass(frozen=True)
+class BuiltinSubgoal(Subgoal):
+    """``lhs op rhs`` over arithmetic expressions."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return expr_variable_set(self.lhs) | expr_variable_set(self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class AggregateSubgoal(Subgoal):
+    """``result (=|=r) function multiset_var : conjunct_1 ∧ ... ∧ conjunct_k``.
+
+    ``multiset_var`` is ``None`` when aggregating atoms with implicit
+    boolean cost arguments (``N =r count : q(X)``); each satisfying
+    assignment then contributes the boolean ``1`` to the multiset.
+
+    Grouping versus local variables are *contextual* — a variable of a
+    conjunct is a grouping variable iff it also occurs outside the subgoal
+    (Definition 2.4) — so the split lives on :class:`~repro.datalog.rules.Rule`,
+    not here.
+    """
+
+    result: Term
+    function: str
+    multiset_var: Optional[Variable]
+    conjuncts: Tuple[Atom, ...]
+    restricted: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        if not self.conjuncts:
+            raise ValueError("an aggregate subgoal needs at least one conjunct")
+        if self.multiset_var is not None:
+            inner = frozenset().union(*(a.variable_set() for a in self.conjuncts))
+            if self.multiset_var not in inner:
+                raise ValueError(
+                    f"multiset variable {self.multiset_var} does not occur in "
+                    f"the aggregate's conjuncts"
+                )
+        if isinstance(self.result, Variable):
+            if self.result == self.multiset_var:
+                raise ValueError(
+                    "the aggregate variable must differ from the multiset "
+                    "variable (Definition 2.4)"
+                )
+
+    def inner_variable_set(self) -> FrozenSet[Variable]:
+        """All variables of the conjuncts (incl. the multiset variable)."""
+        out: FrozenSet[Variable] = frozenset()
+        for conjunct in self.conjuncts:
+            out |= conjunct.variable_set()
+        return out
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        out = self.inner_variable_set()
+        if isinstance(self.result, Variable):
+            out |= {self.result}
+        return out
+
+    @property
+    def equality_symbol(self) -> str:
+        return "=r" if self.restricted else "="
+
+    def __str__(self) -> str:
+        inner = ", ".join(map(str, self.conjuncts))
+        if self.multiset_var is not None:
+            body = f"{self.multiset_var} : {inner}"
+        else:
+            body = inner
+        return (
+            f"{self.result} {self.equality_symbol} {self.function}{{{body}}}"
+        )

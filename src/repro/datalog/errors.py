@@ -1,0 +1,64 @@
+"""Error hierarchy for the Datalog substrate and the engine.
+
+Everything raised by this library derives from :class:`ReproError`, so
+callers can catch one type.  The split mirrors the paper's pipeline:
+syntax (parser) → static analysis (safety / conflict-freedom /
+admissibility) → evaluation (cost consistency, non-termination).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error this library raises deliberately."""
+
+
+class ParseError(ReproError):
+    """Rule text failed to parse; carries the source location."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (
+                f", column {column}" if column is not None else ""
+            )
+        super().__init__(message + location)
+
+
+class ProgramError(ReproError):
+    """A structurally invalid program (bad arity, unknown predicate, ...)."""
+
+
+class SafetyError(ProgramError):
+    """A rule violates range-restriction (Definition 2.5)."""
+
+
+class TypeCheckError(ProgramError):
+    """A rule is not well typed (Section 4.2's typing discipline)."""
+
+
+class NotAdmissibleError(ProgramError):
+    """Strict solving was requested for a program that fails Definition 4.5."""
+
+
+class CostConsistencyError(ReproError):
+    """``T_P`` produced two atoms differing only in the cost argument.
+
+    This is the runtime face of Definition 2.6 / 3.7: the program is not
+    cost consistent on the given extension.
+    """
+
+
+class NonTerminationError(ReproError):
+    """Fixpoint iteration exceeded its budget without converging.
+
+    Carries the last two interpretations so callers can inspect whether the
+    iteration was still ⊑-ascending (a transfinite program such as
+    Example 5.1) or oscillating (a non-monotonic program).
+    """
+
+    def __init__(self, message: str, ascending: bool | None = None):
+        self.ascending = ascending
+        super().__init__(message)

@@ -1,0 +1,514 @@
+r"""A parser for the aggregate-Datalog rule language.
+
+The textual syntax stays close to the paper's notation::
+
+    % Example 2.6 — shortest paths.
+    @cost arc/3  : reals_ge.
+    @cost path/4 : reals_ge.
+    @cost s/3    : reals_ge.
+    @constraint arc(direct, Z, C).
+
+    path(X, direct, Y, C) <- arc(X, Y, C).
+    path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+    s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.
+
+Lexical conventions
+-------------------
+* ``% ...`` comments to end of line.
+* Identifiers starting with an uppercase letter or ``_`` are variables;
+  lowercase identifiers are symbolic constants or predicate/aggregate
+  names depending on position.
+* Numbers are ints or floats; ``inf`` is the IEEE infinity constant.
+* Statements end with ``.``.
+
+Statements
+----------
+* ``@cost p/arity : lattice_name [default].`` — declare a cost predicate
+  (the final argument is the cost argument); ``default`` marks a
+  default-value cost predicate (Section 2.3.2) whose default is the
+  lattice bottom.
+* ``@default p/arity : lattice_name.`` — sugar for a default-marked
+  ``@cost``.
+* ``@pred p/arity.`` — optional explicit ordinary-predicate declaration.
+* ``@constraint subgoal, ..., subgoal.`` — an integrity constraint
+  (Definition 2.9).
+* ``head <- subgoal, ..., subgoal.`` — a rule; ``head.`` — a fact.
+
+Aggregate subgoals are written ``C = f{E : atom, ..., atom}`` or the
+restricted form ``C =r f{E : ...}``; the multiset variable and colon are
+omitted when aggregating implicit-boolean atoms: ``N = count{q(X)}``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.aggregates.base import AggregateFunction
+from repro.datalog.atoms import (
+    COMPARISON_OPS,
+    AggregateSubgoal,
+    Atom,
+    AtomSubgoal,
+    BuiltinSubgoal,
+    Subgoal,
+)
+from repro.datalog.errors import ParseError
+from repro.datalog.program import PredicateDecl, Program
+from repro.datalog.rules import IntegrityConstraint, Rule
+from repro.datalog.terms import ArithExpr, Constant, Expr, Term, Variable
+from repro.lattices import REGISTRY as LATTICE_REGISTRY
+from repro.lattices.base import Lattice
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"          # lowercase-leading identifier
+    VARIABLE = "variable"    # uppercase/underscore-leading identifier
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: Any
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+# "=r" is lexed separately (it needs a lookahead guard so "=rate" stays
+# "=", "rate").
+_PUNCT_TWO = ("<-", "<=", ">=", "!=")
+_PUNCT_ONE = "(){},:.=<>+-*/@"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split rule text into tokens, tracking line/column for diagnostics."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "%":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_column = line, column
+        if ch == '"':
+            j = i + 1
+            chars: List[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                if source[j] == "\\" and j + 1 < n:
+                    chars.append(source[j + 1])
+                    j += 2
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            text = source[i : j + 1]
+            tokens.append(
+                Token(TokenKind.STRING, text, "".join(chars), start_line, start_column)
+            )
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A trailing "." is the statement terminator, not a
+                    # decimal point: require a digit after it.
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            value: Any = float(text) if seen_dot else int(text)
+            tokens.append(
+                Token(TokenKind.NUMBER, text, value, start_line, start_column)
+            )
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            if text == "inf":
+                tokens.append(
+                    Token(TokenKind.NUMBER, text, float("inf"), start_line, start_column)
+                )
+            elif text[0].isupper() or text[0] == "_":
+                tokens.append(
+                    Token(TokenKind.VARIABLE, text, text, start_line, start_column)
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.IDENT, text, text, start_line, start_column)
+                )
+            column += j - i
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two == "=r":
+            # "=r" is the restricted-aggregation equality; only lex it when
+            # the "r" is not the start of a longer identifier (e.g. "=rate").
+            after = source[i + 2] if i + 2 < n else ""
+            if not (after.isalnum() or after == "_"):
+                tokens.append(Token(TokenKind.PUNCT, "=r", "=r", start_line, start_column))
+                i += 2
+                column += 2
+                continue
+        if two in _PUNCT_TWO:
+            tokens.append(Token(TokenKind.PUNCT, two, two, start_line, start_column))
+            i += 2
+            column += 2
+            continue
+        if ch in _PUNCT_ONE:
+            tokens.append(Token(TokenKind.PUNCT, ch, ch, start_line, start_column))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(TokenKind.EOF, "", None, line, column))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser producing a :class:`Program`."""
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        lattices: Optional[Dict[str, Lattice]] = None,
+        aggregates: Optional[Dict[str, AggregateFunction]] = None,
+        name: str = "program",
+    ) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.name = name
+        self.lattices = dict(LATTICE_REGISTRY)
+        if lattices:
+            self.lattices.update(lattices)
+        self.extra_aggregates = aggregates
+        self.rules: List[Rule] = []
+        self.constraints: List[IntegrityConstraint] = []
+        self.declarations: List[PredicateDecl] = []
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(
+            f"{message} (found {token})", token.line, token.column
+        )
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.PUNCT or token.text != text:
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def at_punct(self, *texts: str) -> bool:
+        token = self.current
+        return token.kind is TokenKind.PUNCT and token.text in texts
+
+    def expect_ident(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.IDENT:
+            raise self.error("expected an identifier")
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        while self.current.kind is not TokenKind.EOF:
+            if self.at_punct("@"):
+                self.parse_declaration()
+            elif self.at_punct("<-"):
+                # A headless rule is an integrity constraint (Definition
+                # 2.9's own notation; equivalent to "@constraint ...").
+                self.advance()
+                body = self.parse_subgoal_list()
+                self.expect_punct(".")
+                self.constraints.append(IntegrityConstraint(tuple(body)))
+            else:
+                self.rules.append(self.parse_rule())
+        from repro.aggregates.standard import default_registry
+
+        aggregates = default_registry()
+        if self.extra_aggregates:
+            aggregates.update(self.extra_aggregates)
+        return Program(
+            rules=self.rules,
+            declarations=self.declarations,
+            constraints=self.constraints,
+            aggregates=aggregates,
+            name=self.name,
+        )
+
+    def parse_declaration(self) -> None:
+        self.expect_punct("@")
+        keyword = self.expect_ident().text
+        if keyword in ("cost", "default"):
+            predicate = self.expect_ident().text
+            self.expect_punct("/")
+            arity_token = self.advance()
+            if arity_token.kind is not TokenKind.NUMBER or not isinstance(
+                arity_token.value, int
+            ):
+                raise self.error("expected an integer arity")
+            self.expect_punct(":")
+            lattice_name = self.expect_ident().text
+            lattice = self.lattices.get(lattice_name)
+            if lattice is None:
+                raise self.error(f"unknown lattice {lattice_name!r}")
+            has_default = keyword == "default"
+            if self.current.kind is TokenKind.IDENT and self.current.text == "default":
+                self.advance()
+                has_default = True
+            self.expect_punct(".")
+            self.declarations.append(
+                PredicateDecl(predicate, arity_token.value, lattice, has_default)
+            )
+        elif keyword == "pred":
+            predicate = self.expect_ident().text
+            self.expect_punct("/")
+            arity_token = self.advance()
+            if arity_token.kind is not TokenKind.NUMBER or not isinstance(
+                arity_token.value, int
+            ):
+                raise self.error("expected an integer arity")
+            self.expect_punct(".")
+            self.declarations.append(PredicateDecl(predicate, arity_token.value))
+        elif keyword == "constraint":
+            body = self.parse_subgoal_list()
+            self.expect_punct(".")
+            self.constraints.append(IntegrityConstraint(tuple(body)))
+        else:
+            raise self.error(f"unknown declaration @{keyword}")
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        if self.at_punct("."):
+            self.advance()
+            return Rule(head=head)
+        self.expect_punct("<-")
+        body = self.parse_subgoal_list()
+        self.expect_punct(".")
+        return Rule(head=head, body=tuple(body))
+
+    def parse_subgoal_list(self) -> List[Subgoal]:
+        subgoals = [self.parse_subgoal()]
+        while self.at_punct(","):
+            self.advance()
+            subgoals.append(self.parse_subgoal())
+        return subgoals
+
+    def parse_subgoal(self) -> Subgoal:
+        token = self.current
+        if token.kind is TokenKind.IDENT and token.text == "not":
+            self.advance()
+            return AtomSubgoal(self.parse_atom(), negated=True)
+        if token.kind is TokenKind.IDENT and self.peek().text == "(":
+            # Could still be the start of a built-in ("f(X) + 1 = Y" is not
+            # supported — built-ins operate on terms — so an identifier
+            # followed by "(" is always an atom).
+            return AtomSubgoal(self.parse_atom())
+        if token.kind is TokenKind.IDENT and not self.at_after_ident_comparison():
+            # A zero-arity atom such as "halt".
+            return AtomSubgoal(self.parse_atom())
+        return self.parse_builtin_or_aggregate()
+
+    def at_after_ident_comparison(self) -> bool:
+        """True if the identifier at the cursor begins a built-in subgoal
+        (e.g. a symbolic constant compared with '=')."""
+        nxt = self.peek()
+        return nxt.kind is TokenKind.PUNCT and nxt.text in (
+            COMPARISON_OPS + ("=r", "+", "-", "*", "/")
+        )
+
+    def parse_builtin_or_aggregate(self) -> Subgoal:
+        lhs = self.parse_expr()
+        token = self.current
+        if token.kind is not TokenKind.PUNCT or token.text not in (
+            COMPARISON_OPS + ("=r",)
+        ):
+            raise self.error("expected a comparison operator")
+        op = self.advance().text
+        # Aggregate subgoal: "<term> =|=r  fname { ... }".
+        if (
+            op in ("=", "=r")
+            and self.current.kind is TokenKind.IDENT
+            and self.peek().text == "{"
+        ):
+            if not isinstance(lhs, (Variable, Constant)):
+                raise self.error(
+                    "the left side of an aggregate subgoal must be a variable "
+                    "or constant"
+                )
+            return self.parse_aggregate(lhs, restricted=(op == "=r"))
+        if op == "=r":
+            raise self.error("'=r' may only introduce an aggregate subgoal")
+        rhs = self.parse_expr()
+        return BuiltinSubgoal(op, lhs, rhs)
+
+    def parse_aggregate(self, result: Term, restricted: bool) -> AggregateSubgoal:
+        function = self.expect_ident().text
+        self.expect_punct("{")
+        multiset_var: Optional[Variable] = None
+        if self.current.kind is TokenKind.VARIABLE and self.peek().text == ":":
+            multiset_var = Variable(self.advance().text)
+            self.expect_punct(":")
+        conjuncts = [self.parse_atom()]
+        while self.at_punct(","):
+            self.advance()
+            conjuncts.append(self.parse_atom())
+        self.expect_punct("}")
+        try:
+            return AggregateSubgoal(
+                result=result,
+                function=function,
+                multiset_var=multiset_var,
+                conjuncts=tuple(conjuncts),
+                restricted=restricted,
+            )
+        except ValueError as exc:
+            raise self.error(str(exc)) from exc
+
+    def parse_atom(self) -> Atom:
+        name = self.expect_ident().text
+        if not self.at_punct("("):
+            return Atom(name, ())
+        self.advance()
+        args: List[Term] = []
+        if not self.at_punct(")"):
+            args.append(self.parse_term())
+            while self.at_punct(","):
+                self.advance()
+                args.append(self.parse_term())
+        self.expect_punct(")")
+        return Atom(name, tuple(args))
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind is TokenKind.VARIABLE:
+            self.advance()
+            return Variable(token.text)
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return Constant(token.value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Constant(token.value)
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return Constant(token.text)
+        if self.at_punct("-") and self.peek().kind is TokenKind.NUMBER:
+            self.advance()
+            number = self.advance()
+            return Constant(-number.value)
+        raise self.error("expected a term")
+
+    # Expressions: standard precedence, terms at the leaves.
+
+    def parse_expr(self) -> Expr:
+        expr = self.parse_mul()
+        while self.at_punct("+", "-"):
+            op = self.advance().text
+            right = self.parse_mul()
+            expr = ArithExpr(op, expr, right)
+        return expr
+
+    def parse_mul(self) -> Expr:
+        expr = self.parse_primary()
+        while self.at_punct("*", "/"):
+            op = self.advance().text
+            right = self.parse_primary()
+            expr = ArithExpr(op, expr, right)
+        return expr
+
+    def parse_primary(self) -> Expr:
+        if self.at_punct("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        return self.parse_term()
+
+
+def parse_program(
+    source: str,
+    *,
+    lattices: Optional[Dict[str, Lattice]] = None,
+    aggregates: Optional[Dict[str, AggregateFunction]] = None,
+    name: str = "program",
+) -> Program:
+    """Parse rule text into a :class:`Program`.
+
+    ``lattices`` and ``aggregates`` extend (and may override) the built-in
+    registries for custom cost domains and aggregate functions.
+    """
+    return Parser(
+        source, lattices=lattices, aggregates=aggregates, name=name
+    ).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (handy in tests and docs)."""
+    parser = Parser(source)
+    rule = parser.parse_rule()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser.error("trailing input after rule")
+    return rule
+
+
+def parse_atom_text(source: str) -> Atom:
+    """Parse a single atom such as ``arc(a, b, 3)``."""
+    parser = Parser(source)
+    atom = parser.parse_atom()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser.error("trailing input after atom")
+    return atom

@@ -1,0 +1,44 @@
+"""Pretty-printing programs back to parseable rule text.
+
+``parse_program(program_to_text(p))`` reconstructs an equivalent program —
+the round-trip property is enforced by the test suite, which keeps the
+parser and the printers honest about the same grammar.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datalog.program import Program
+from repro.lattices import REGISTRY as LATTICE_REGISTRY
+
+
+def declaration_lines(program: Program) -> List[str]:
+    """``@cost``/``@default``/``@pred`` lines for all declared predicates.
+
+    Cost predicates whose lattice is not in the global registry under its
+    own name cannot be expressed in text; they are emitted as comments so
+    the output remains parseable (the caller must re-register the lattice).
+    """
+    lines: List[str] = []
+    for decl in sorted(program.declarations.values(), key=lambda d: d.name):
+        if not decl.is_cost_predicate:
+            lines.append(f"@pred {decl.name}/{decl.arity}.")
+            continue
+        assert decl.lattice is not None
+        registered = LATTICE_REGISTRY.get(decl.lattice.name) == decl.lattice
+        keyword = "default" if decl.has_default else "cost"
+        line = f"@{keyword} {decl.name}/{decl.arity} : {decl.lattice.name}."
+        if not registered:
+            line = "% (custom lattice; re-register before parsing) " + line
+        lines.append(line)
+    return lines
+
+
+def program_to_text(program: Program) -> str:
+    """Serialize a program to rule text the parser accepts."""
+    lines = [f"% program {program.name}"]
+    lines += declaration_lines(program)
+    lines += [str(constraint) for constraint in program.constraints]
+    lines += [str(rule) for rule in program.rules]
+    return "\n".join(lines) + "\n"

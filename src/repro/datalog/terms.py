@@ -1,0 +1,125 @@
+"""Terms and arithmetic expressions.
+
+The paper's programs are function-free over the data domain (Lemma 2.2's
+finiteness argument relies on it); uninterpreted function symbols are not
+supported.  *Interpreted* arithmetic does appear — but only inside built-in
+subgoals ("built-in functions appear only as arguments of built-in
+predicates", Section 2.2) — and is modelled by :class:`ArithExpr` trees
+whose leaves are terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, Mapping, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logical variable.  Named with a leading uppercase letter by parser
+    convention, but any string is accepted programmatically."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _is_bare_symbol(text: str) -> bool:
+    """True for strings the parser reads back as bare symbolic constants."""
+    return (
+        bool(text)
+        and text[0].isalpha()
+        and text[0].islower()
+        and all(c.isalnum() or c == "_" for c in text)
+        and text not in ("not", "inf")
+    )
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A ground term wrapping an arbitrary hashable Python value."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            if _is_bare_symbol(self.value):
+                return self.value
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+#: Arithmetic operators allowed in built-in expressions.
+ARITH_OPS = ("+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class ArithExpr:
+    """A binary arithmetic expression over terms and sub-expressions."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Variable, Constant, ArithExpr]
+
+
+def expr_variables(expr: Expr) -> Iterator[Variable]:
+    """Yield every variable occurring in ``expr`` (with repetition)."""
+    if isinstance(expr, Variable):
+        yield expr
+    elif isinstance(expr, ArithExpr):
+        yield from expr_variables(expr.left)
+        yield from expr_variables(expr.right)
+
+
+def expr_variable_set(expr: Expr) -> FrozenSet[Variable]:
+    """The set of variables occurring in ``expr``."""
+    return frozenset(expr_variables(expr))
+
+
+class UnboundVariableError(KeyError):
+    """Expression evaluation met a variable the substitution does not bind."""
+
+
+def evaluate_expr(expr: Expr, bindings: Mapping[Variable, Any]) -> Any:
+    """Evaluate an expression under a variable → *value* binding.
+
+    Values are raw Python values (not wrapped in :class:`Constant`).
+    Division is true division; division by zero propagates as
+    ``ZeroDivisionError`` — a built-in subgoal that divides by zero is a
+    program bug, not an unsatisfied subgoal.
+    """
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, Variable):
+        try:
+            return bindings[expr]
+        except KeyError:
+            raise UnboundVariableError(expr.name) from None
+    left = evaluate_expr(expr.left, bindings)
+    right = evaluate_expr(expr.right, bindings)
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    return left / right
+
+
+def is_ground(expr: Expr) -> bool:
+    """True iff the expression contains no variables."""
+    return next(expr_variables(expr), None) is None

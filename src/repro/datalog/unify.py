@@ -1,0 +1,284 @@
+"""Substitutions, unification, and containment mappings.
+
+The conflict-freedom check (Definition 2.10) needs three pieces of
+machinery, all here:
+
+* most general unifiers of the *non-cost* head arguments of two rules;
+* containment mappings (Definition 2.8) between unified rules — a
+  variable→term mapping making the head identical and every subgoal of the
+  first rule identical to *some* subgoal of the second;
+* instance matching of integrity-constraint bodies inside a conjunction of
+  subgoals (Definition 2.10 condition 2).
+
+The language is function-free over the data domain, so unification is the
+simple variable/constant case; arithmetic expressions only occur in
+built-in subgoals and are handled structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.atoms import (
+    AggregateSubgoal,
+    Atom,
+    AtomSubgoal,
+    BuiltinSubgoal,
+    Subgoal,
+)
+from repro.datalog.rules import Rule
+from repro.datalog.terms import ArithExpr, Constant, Expr, Term, Variable
+
+Substitution = Dict[Variable, Term]
+
+
+# ---------------------------------------------------------------------------
+# Applying substitutions
+# ---------------------------------------------------------------------------
+
+
+def apply_to_term(term: Term, subst: Substitution) -> Term:
+    if isinstance(term, Variable):
+        return subst.get(term, term)
+    return term
+
+
+def apply_to_expr(expr: Expr, subst: Substitution) -> Expr:
+    if isinstance(expr, (Variable, Constant)):
+        return apply_to_term(expr, subst)
+    return ArithExpr(
+        expr.op, apply_to_expr(expr.left, subst), apply_to_expr(expr.right, subst)
+    )
+
+
+def apply_to_atom(atom: Atom, subst: Substitution) -> Atom:
+    return Atom(atom.predicate, tuple(apply_to_term(t, subst) for t in atom.args))
+
+
+def apply_to_subgoal(subgoal: Subgoal, subst: Substitution) -> Subgoal:
+    if isinstance(subgoal, AtomSubgoal):
+        return AtomSubgoal(apply_to_atom(subgoal.atom, subst), subgoal.negated)
+    if isinstance(subgoal, BuiltinSubgoal):
+        return BuiltinSubgoal(
+            subgoal.op,
+            apply_to_expr(subgoal.lhs, subst),
+            apply_to_expr(subgoal.rhs, subst),
+        )
+    if isinstance(subgoal, AggregateSubgoal):
+        new_ms = subgoal.multiset_var
+        if new_ms is not None:
+            mapped = subst.get(new_ms, new_ms)
+            if not isinstance(mapped, Variable):
+                raise ValueError(
+                    f"substitution binds multiset variable {new_ms} to a constant"
+                )
+            new_ms = mapped
+        return AggregateSubgoal(
+            result=apply_to_term(subgoal.result, subst),
+            function=subgoal.function,
+            multiset_var=new_ms,
+            conjuncts=tuple(apply_to_atom(a, subst) for a in subgoal.conjuncts),
+            restricted=subgoal.restricted,
+        )
+    raise TypeError(f"unknown subgoal type {type(subgoal).__name__}")
+
+
+def apply_to_rule(rule: Rule, subst: Substitution) -> Rule:
+    return Rule(
+        head=apply_to_atom(rule.head, subst),
+        body=tuple(apply_to_subgoal(sg, subst) for sg in rule.body),
+        label=rule.label,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Most general unifiers
+# ---------------------------------------------------------------------------
+
+
+def _resolve(term: Term, subst: Substitution) -> Term:
+    while isinstance(term, Variable) and term in subst:
+        term = subst[term]
+    return term
+
+
+def unify_terms(
+    pairs: Iterable[Tuple[Term, Term]], subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify term pairs, extending ``subst``.  Returns None on clash.
+
+    Function-free unification: no occurs-check is needed because there are
+    no compound data terms.
+    """
+    out: Substitution = dict(subst or {})
+    for left, right in pairs:
+        a = _resolve(left, out)
+        b = _resolve(right, out)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            out[a] = b
+        elif isinstance(b, Variable):
+            out[b] = a
+        else:
+            return None  # two distinct constants
+    return out
+
+
+def unify_atoms(a: Atom, b: Atom) -> Optional[Substitution]:
+    """MGU of two atoms, or None."""
+    if a.predicate != b.predicate or a.arity != b.arity:
+        return None
+    return unify_terms(zip(a.args, b.args))
+
+
+def flatten(subst: Substitution) -> Substitution:
+    """Resolve chains so every binding maps directly to its final term."""
+    return {v: _resolve(v, subst) for v in subst}
+
+
+# ---------------------------------------------------------------------------
+# Containment mappings (Definition 2.8)
+# ---------------------------------------------------------------------------
+
+
+def _match_term(
+    pattern: Term, target: Term, mapping: Substitution
+) -> Optional[Substitution]:
+    """Extend ``mapping`` so that ``mapping(pattern) == target``.
+
+    Unlike unification this is one-directional: only pattern variables may
+    be bound, and a pattern constant must equal the target exactly.
+    """
+    if isinstance(pattern, Constant):
+        return mapping if pattern == target else None
+    bound = mapping.get(pattern)
+    if bound is not None:
+        return mapping if bound == target else None
+    out = dict(mapping)
+    out[pattern] = target
+    return out
+
+
+def _match_expr(
+    pattern: Expr, target: Expr, mapping: Substitution
+) -> Optional[Substitution]:
+    if isinstance(pattern, (Variable, Constant)):
+        if isinstance(target, ArithExpr):
+            return None
+        return _match_term(pattern, target, mapping)
+    if not isinstance(target, ArithExpr) or pattern.op != target.op:
+        return None
+    mid = _match_expr(pattern.left, target.left, mapping)
+    if mid is None:
+        return None
+    return _match_expr(pattern.right, target.right, mid)
+
+
+def match_atom(
+    pattern: Atom, target: Atom, mapping: Substitution
+) -> Optional[Substitution]:
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    current = mapping
+    for p, t in zip(pattern.args, target.args):
+        current = _match_term(p, t, current)
+        if current is None:
+            return None
+    return current
+
+
+def _match_atom_multiset(
+    patterns: Sequence[Atom], targets: Sequence[Atom], mapping: Substitution
+) -> Optional[Substitution]:
+    """Match each pattern atom to a *distinct* target atom (backtracking)."""
+    if not patterns:
+        return mapping
+    if len(patterns) > len(targets):
+        return None
+    head, rest = patterns[0], patterns[1:]
+    for i, target in enumerate(targets):
+        extended = match_atom(head, target, mapping)
+        if extended is None:
+            continue
+        remaining = list(targets[:i]) + list(targets[i + 1 :])
+        final = _match_atom_multiset(rest, remaining, extended)
+        if final is not None:
+            return final
+    return None
+
+
+def _match_subgoal(
+    pattern: Subgoal, target: Subgoal, mapping: Substitution
+) -> Optional[Substitution]:
+    if isinstance(pattern, AtomSubgoal):
+        if not isinstance(target, AtomSubgoal) or pattern.negated != target.negated:
+            return None
+        return match_atom(pattern.atom, target.atom, mapping)
+    if isinstance(pattern, BuiltinSubgoal):
+        if not isinstance(target, BuiltinSubgoal) or pattern.op != target.op:
+            return None
+        mid = _match_expr(pattern.lhs, target.lhs, mapping)
+        if mid is None:
+            return None
+        return _match_expr(pattern.rhs, target.rhs, mid)
+    if isinstance(pattern, AggregateSubgoal):
+        if (
+            not isinstance(target, AggregateSubgoal)
+            or pattern.function != target.function
+            or pattern.restricted != target.restricted
+            or (pattern.multiset_var is None) != (target.multiset_var is None)
+        ):
+            return None
+        mid = _match_term(pattern.result, target.result, mapping)
+        if mid is None:
+            return None
+        if pattern.multiset_var is not None:
+            mid = _match_term(pattern.multiset_var, target.multiset_var, mid)
+            if mid is None:
+                return None
+        return _match_atom_multiset(pattern.conjuncts, target.conjuncts, mid)
+    raise TypeError(f"unknown subgoal type {type(pattern).__name__}")
+
+
+def _match_body(
+    patterns: Sequence[Subgoal],
+    targets: Sequence[Subgoal],
+    mapping: Substitution,
+) -> Optional[Substitution]:
+    """Map every pattern subgoal to *some* target subgoal (reuse allowed —
+    Definition 2.8 does not require injectivity)."""
+    if not patterns:
+        return mapping
+    head, rest = patterns[0], patterns[1:]
+    for target in targets:
+        extended = _match_subgoal(head, target, mapping)
+        if extended is None:
+            continue
+        final = _match_body(rest, targets, extended)
+        if final is not None:
+            return final
+    return None
+
+
+def containment_mapping(source: Rule, target: Rule) -> Optional[Substitution]:
+    """A containment mapping from ``source`` to ``target`` (Definition 2.8),
+    or None.  Its existence guarantees the tuples generated by ``target``
+    are a subset of those generated by ``source``."""
+    mapping = match_atom(source.head, target.head, {})
+    if mapping is None:
+        return None
+    return _match_body(list(source.body), list(target.body), mapping)
+
+
+def find_constraint_instance(
+    constraint_body: Sequence[Subgoal], conjunction: Sequence[Subgoal]
+) -> Optional[Substitution]:
+    """A substitution instantiating the constraint body inside
+    ``conjunction`` (Definition 2.10 condition 2), or None.
+
+    Constraint variables may map to variables or constants of the
+    conjunction; every constraint subgoal must match some conjunction
+    subgoal under one common substitution.
+    """
+    return _match_body(list(constraint_body), list(conjunction), {})

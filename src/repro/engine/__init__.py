@@ -1,0 +1,49 @@
+"""Evaluation engine: interpretations, T_P, naive/semi-naive fixpoints."""
+
+from repro.engine.grounding import (
+    Bindings,
+    EvalContext,
+    evaluate_body,
+    ground_head,
+    schedule,
+    solve_conjunction,
+)
+from repro.engine.greedy import greedy_applicable, greedy_fixpoint
+from repro.engine.interpretation import Interpretation, Key, Relation
+from repro.engine.magic import MagicProgram, MagicStats, magic_solve, magic_transform
+from repro.engine.modelcheck import is_model, is_premodel, violations
+from repro.engine.naive import FixpointResult, kleene_fixpoint
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.solver import SolveResult, solve
+from repro.engine.trace import Justification, explain, justifications
+from repro.engine.tp import apply_tp
+
+__all__ = [
+    "Bindings",
+    "EvalContext",
+    "evaluate_body",
+    "ground_head",
+    "schedule",
+    "solve_conjunction",
+    "Interpretation",
+    "Key",
+    "Relation",
+    "greedy_applicable",
+    "greedy_fixpoint",
+    "MagicProgram",
+    "MagicStats",
+    "magic_solve",
+    "magic_transform",
+    "is_model",
+    "is_premodel",
+    "violations",
+    "FixpointResult",
+    "kleene_fixpoint",
+    "seminaive_fixpoint",
+    "SolveResult",
+    "solve",
+    "Justification",
+    "explain",
+    "justifications",
+    "apply_tp",
+]

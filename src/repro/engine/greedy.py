@@ -1,0 +1,139 @@
+"""Greedy (priority-queue) evaluation for extremal monotonic components.
+
+Section 7 points at Ganguly et al.'s greedy technique for min/max
+programs: on the shortest-path program with non-negative arc weights it is
+the generalisation of Dijkstra's algorithm.  This evaluator implements the
+idea for the engine at large:
+
+* candidate cost atoms live in a priority queue ordered by the *numeric*
+  cost (ascending for min-oriented ``reals_ge`` components, descending
+  for max-oriented ones);
+* popping *settles* an atom: once settled, a key's value is final and new
+  candidates for it are discarded;
+* settling an atom triggers delta re-derivation (the semi-naive seed
+  machinery) to push its consequences.
+
+Soundness needs the Dijkstra invariant: a rule firing on settled atoms
+may only produce candidates that are no better (numerically no smaller,
+for min) than the settled costs it consumed — e.g. non-negative arc
+weights.  The paper itself notes greedy methods do not extend to all
+monotonic programs (Section 7); :func:`greedy_applicable` gates the
+syntactic shape, and the weight condition is the caller's promise
+(``assume_invariant=True``), cross-checked against the naive engine in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.dependencies import Component
+from repro.datalog.errors import ReproError
+from repro.datalog.program import Program
+from repro.engine.grounding import EvalContext, evaluate_body, ground_head
+from repro.engine.interpretation import Interpretation
+from repro.engine.naive import FixpointResult
+from repro.engine.seminaive import DeltaRows, _delta_seeds
+from repro.engine.tp import apply_tp
+
+
+def greedy_applicable(program: Program, component: Component) -> Optional[int]:
+    """The numeric direction (+1 max-oriented, -1 min-oriented) if the
+    component fits the greedy evaluator, else None.
+
+    Requirements: every CDB predicate is a cost predicate over a numeric
+    chain, all with the same direction, and none carries a default value.
+    """
+    direction: Optional[int] = None
+    for predicate in component.cdb:
+        decl = program.decl(predicate)
+        if not decl.is_cost_predicate or decl.has_default:
+            return None
+        assert decl.lattice is not None
+        d = decl.lattice.numeric_direction
+        if d is None:
+            return None
+        if direction is None:
+            direction = d
+        elif direction != d:
+            return None
+    return direction
+
+
+def greedy_fixpoint(
+    program: Program,
+    component: Component,
+    i: Interpretation,
+    *,
+    assume_invariant: bool = False,
+    max_pops: int = 10_000_000,
+) -> FixpointResult:
+    """Priority-queue fixpoint of one extremal component."""
+    direction = greedy_applicable(program, component)
+    if direction is None:
+        raise ReproError(
+            f"greedy evaluation does not apply to {component}; use the "
+            f"naive or semi-naive evaluator"
+        )
+    if not assume_invariant:
+        raise ReproError(
+            "greedy evaluation is only sound under the Dijkstra invariant "
+            "(e.g. non-negative arc weights); pass assume_invariant=True "
+            "to acknowledge it"
+        )
+    cdb = component.cdb
+    rules = list(component.rules)
+    j = Interpretation(program.declarations)
+    ctx = EvalContext(program, cdb, j, i)
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, str, Tuple[Any, ...]]] = []
+
+    def push(predicate: str, args: Tuple[Any, ...]) -> None:
+        # direction -1 (reals_ge / min): numerically smaller is ⊑-greater
+        # and must settle first, so the heap key is the raw cost; for
+        # max-oriented components the key is negated.
+        cost = args[-1]
+        heap_key = cost if direction == -1 else -cost
+        heapq.heappush(heap, (heap_key, next(counter), predicate, args))
+
+    # Seed: one full application against the empty J.
+    seed = apply_tp(program, cdb, j, i, rules=rules, strict=False)
+    for name, rel in seed.relations.items():
+        for key, value in rel.costs.items():
+            push(name, key + (value,))
+
+    pops = 0
+    settled_count = 0
+    while heap:
+        pops += 1
+        if pops > max_pops:
+            raise ReproError(f"greedy evaluation exceeded {max_pops} pops")
+        _, _, predicate, args = heapq.heappop(heap)
+        rel = j.relation(predicate)
+        key, value = args[:-1], args[-1]
+        existing = rel.costs.get(key)
+        if existing is not None:
+            # Settled already; by the invariant the settled value is final.
+            continue
+        rel.costs[key] = value
+        ctx.note_insert(predicate, args)
+        settled_count += 1
+        delta: DeltaRows = {predicate: [args]}
+        for rule in rules:
+            for seed_bindings in _delta_seeds(rule, cdb, delta):
+                for bindings in evaluate_body(rule, ctx, initial=seed_bindings):
+                    head_pred, head_args = ground_head(rule, bindings)
+                    head_rel = j.relation(head_pred)
+                    if head_args[:-1] in head_rel.costs:
+                        continue
+                    push(head_pred, head_args)
+
+    return FixpointResult(
+        interpretation=j,
+        iterations=settled_count,
+        ascending=True,
+        trajectory=[j.total_size()],
+    )

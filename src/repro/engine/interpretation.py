@@ -1,0 +1,286 @@
+"""Aggregate Herbrand interpretations (Definition 3.3, Theorem 3.1).
+
+An interpretation stores, per predicate:
+
+* ordinary predicates — a set of key tuples;
+* cost predicates — a dict from key tuple (the non-cost arguments) to a
+  cost value, which makes the functional dependency of Definition 2.3
+  structural;
+* default-value cost predicates — only the *core* (Section 2.3.3): entries
+  whose value differs from the lattice bottom; lookups of absent keys read
+  the default.
+
+On these representations the paper's order ``⊑`` and the lub/glb of
+Theorem 3.1 are pointwise lattice operations, implemented here, making the
+space of interpretations a complete lattice as the theorem states.
+
+Values are raw Python objects (floats, ints, frozensets, ...); keys are
+tuples of raw constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.datalog.errors import CostConsistencyError, ProgramError
+from repro.datalog.program import PredicateDecl
+
+Key = Tuple[Any, ...]
+
+
+@dataclass
+class Relation:
+    """The extension of one predicate inside an interpretation."""
+
+    decl: PredicateDecl
+    tuples: Set[Key]  # ordinary predicates
+    costs: Dict[Key, Any]  # cost predicates (core only for defaults)
+
+    @classmethod
+    def empty(cls, decl: PredicateDecl) -> "Relation":
+        return cls(decl=decl, tuples=set(), costs={})
+
+    def copy(self) -> "Relation":
+        return Relation(self.decl, set(self.tuples), dict(self.costs))
+
+    @property
+    def is_cost(self) -> bool:
+        return self.decl.is_cost_predicate
+
+    def __len__(self) -> int:
+        return len(self.costs) if self.is_cost else len(self.tuples)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_tuple(self, key: Key) -> bool:
+        """Add an ordinary tuple; True if new."""
+        if key in self.tuples:
+            return False
+        self.tuples.add(key)
+        return True
+
+    def set_cost(self, key: Key, value: Any, *, strict: bool = True) -> bool:
+        """Record ``key ↦ value``; True if the stored value changed.
+
+        ``strict`` enforces the functional dependency: a different existing
+        value raises :class:`CostConsistencyError` (Definition 2.6's runtime
+        face).  Default-value predicates drop bottom entries from the core.
+        """
+        lattice = self.decl.lattice
+        assert lattice is not None
+        if self.decl.has_default and value == lattice.bottom:
+            # The default is implicit; storing it would bloat the core.
+            if strict and key in self.costs and self.costs[key] != value:
+                raise CostConsistencyError(
+                    f"{self.decl.name}{key}: derived both "
+                    f"{self.costs[key]!r} and default {value!r}"
+                )
+            return False
+        existing = self.costs.get(key)
+        if existing is None:
+            self.costs[key] = value
+            return True
+        if existing == value:
+            return False
+        if strict:
+            raise CostConsistencyError(
+                f"{self.decl.name}{key}: derived both {existing!r} and "
+                f"{value!r} in one T_P application"
+            )
+        self.costs[key] = lattice.join(existing, value)
+        return self.costs[key] != existing
+
+    # -- queries ---------------------------------------------------------------
+
+    def cost_of(self, key: Key) -> Optional[Any]:
+        """The cost of ``key``: stored value, the default for default-value
+        predicates, or None when the atom is absent."""
+        value = self.costs.get(key)
+        if value is not None:
+            return value
+        if self.decl.has_default:
+            return self.decl.default_value
+        return None
+
+    def has_tuple(self, key: Key) -> bool:
+        return key in self.tuples
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Full rows (key + cost column for cost predicates).
+
+        For default-value predicates this iterates the *core* only; the
+        engine must never enumerate a default-value predicate unbound
+        (range-restriction forbids it).
+        """
+        if self.is_cost:
+            for key, value in self.costs.items():
+                yield key + (value,)
+        else:
+            yield from self.tuples
+
+
+class Interpretation:
+    """A (finite-core) aggregate Herbrand interpretation."""
+
+    def __init__(self, declarations: Mapping[str, PredicateDecl]) -> None:
+        self.declarations = dict(declarations)
+        self.relations: Dict[str, Relation] = {
+            name: Relation.empty(decl) for name, decl in self.declarations.items()
+        }
+
+    # -- construction ------------------------------------------------------------
+
+    def copy(self) -> "Interpretation":
+        out = Interpretation(self.declarations)
+        out.relations = {name: rel.copy() for name, rel in self.relations.items()}
+        return out
+
+    def relation(self, predicate: str) -> Relation:
+        try:
+            return self.relations[predicate]
+        except KeyError:
+            raise ProgramError(f"unknown predicate {predicate}") from None
+
+    def add_fact(self, predicate: str, *args: Any, strict: bool = True) -> bool:
+        """Insert a ground fact given its full argument list."""
+        rel = self.relation(predicate)
+        if rel.decl.arity != len(args):
+            raise ProgramError(
+                f"{predicate} expects {rel.decl.arity} arguments, got {len(args)}"
+            )
+        if rel.is_cost:
+            *key, value = args
+            lattice = rel.decl.lattice
+            assert lattice is not None
+            lattice.validate(value)
+            return rel.set_cost(tuple(key), value, strict=strict)
+        return rel.add_tuple(tuple(args))
+
+    # -- the lattice of Theorem 3.1 -------------------------------------------------
+
+    def leq(self, other: "Interpretation") -> bool:
+        """``self ⊑ other`` (Definition 3.3)."""
+        for name, rel in self.relations.items():
+            other_rel = other.relation(name)
+            if rel.is_cost:
+                lattice = rel.decl.lattice
+                assert lattice is not None
+                for key, value in rel.costs.items():
+                    other_value = other_rel.cost_of(key)
+                    if other_value is None or not lattice.leq(value, other_value):
+                        return False
+            else:
+                if not rel.tuples <= other_rel.tuples:
+                    return False
+        return True
+
+    def join(self, other: "Interpretation") -> "Interpretation":
+        """``self ⊔ other`` per Theorem 3.1's construction."""
+        out = self.copy()
+        for name, rel in other.relations.items():
+            target = out.relation(name)
+            if rel.is_cost:
+                lattice = rel.decl.lattice
+                assert lattice is not None
+                for key, value in rel.costs.items():
+                    mine = target.costs.get(key)
+                    if mine is None:
+                        target.costs[key] = value
+                    else:
+                        target.costs[key] = lattice.join(mine, value)
+            else:
+                target.tuples |= rel.tuples
+        return out
+
+    def meet(self, other: "Interpretation") -> "Interpretation":
+        """``self ⊓ other`` per Theorem 3.1's construction.
+
+        For a non-default cost predicate a key must be present on both
+        sides ("if *every* S_i has a cost atom ..."); for default-value
+        predicates an absent key reads as bottom, so the meet of a core
+        entry with an absent one is bottom and leaves the core.
+        """
+        out = Interpretation(self.declarations)
+        for name, rel in self.relations.items():
+            other_rel = other.relation(name)
+            target = out.relation(name)
+            if rel.is_cost:
+                lattice = rel.decl.lattice
+                assert lattice is not None
+                if rel.decl.has_default:
+                    for key, value in rel.costs.items():
+                        other_value = other_rel.cost_of(key)
+                        assert other_value is not None
+                        met = lattice.meet(value, other_value)
+                        if met != lattice.bottom:
+                            target.costs[key] = met
+                else:
+                    for key, value in rel.costs.items():
+                        if key in other_rel.costs:
+                            target.costs[key] = lattice.meet(
+                                value, other_rel.costs[key]
+                            )
+            else:
+                target.tuples = rel.tuples & other_rel.tuples
+        return out
+
+    # -- comparisons & reporting -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interpretation):
+            return NotImplemented
+        for name, rel in self.relations.items():
+            other_rel = other.relations.get(name)
+            if other_rel is None:
+                if len(rel):
+                    return False
+                continue
+            if rel.is_cost:
+                if rel.costs != other_rel.costs:
+                    return False
+            else:
+                if rel.tuples != other_rel.tuples:
+                    return False
+        for name, rel in other.relations.items():
+            if name not in self.relations and len(rel):
+                return False
+        return True
+
+    def __hash__(self):  # pragma: no cover - interpretations are mutable
+        raise TypeError("interpretations are mutable and unhashable")
+
+    def fingerprint(self) -> int:
+        """A hash of the current contents (for oscillation detection)."""
+        parts: List[Tuple[Any, ...]] = []
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            if rel.is_cost:
+                parts.append(
+                    (name,) + tuple(sorted(rel.costs.items(), key=repr))
+                )
+            else:
+                parts.append((name,) + tuple(sorted(rel.tuples, key=repr)))
+        return hash(tuple(parts))
+
+    def total_size(self) -> int:
+        return sum(len(rel) for rel in self.relations.values())
+
+    def __getitem__(self, predicate: str):
+        """Convenience read access: a dict for cost predicates, a frozenset
+        for ordinary predicates."""
+        rel = self.relation(predicate)
+        if rel.is_cost:
+            return dict(rel.costs)
+        return frozenset(rel.tuples)
+
+    def __str__(self) -> str:
+        lines = []
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            if not len(rel):
+                continue
+            for row in sorted(rel.rows(), key=repr):
+                rendered = ", ".join(map(repr, row))
+                lines.append(f"{name}({rendered})")
+        return "\n".join(lines) or "(empty)"

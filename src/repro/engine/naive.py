@@ -1,0 +1,85 @@
+"""Naive bottom-up evaluation: Kleene iteration of ``T_P`` (Section 6.2).
+
+The sequence ``J_∅, T_P(J_∅, I), T_P(T_P(J_∅, I), I), ...`` is monotonically
+⊑-increasing for monotonic programs and reaches the least fixpoint after
+finitely many steps whenever the relevant cost orders are well-founded on
+the values that actually arise (the paper's termination discussion).
+
+Non-monotonic programs may oscillate; programs like Example 5.1 (halfsum)
+ascend forever toward a fixpoint only reached at ω or beyond.  Both cases
+surface as :class:`~repro.datalog.errors.NonTerminationError`, whose
+``ascending`` flag distinguishes them — the caller (and the halfsum bench)
+can then report the approximation trajectory instead of a wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.datalog.errors import NonTerminationError
+from repro.datalog.program import Program
+from repro.engine.interpretation import Interpretation
+from repro.engine.tp import apply_tp
+
+
+@dataclass
+class FixpointResult:
+    """Outcome of one component's fixpoint computation."""
+
+    interpretation: Interpretation
+    iterations: int
+    ascending: bool
+    #: Sizes of successive interpretations (diagnostics / benches).
+    trajectory: List[int] = field(default_factory=list)
+
+
+def kleene_fixpoint(
+    program: Program,
+    cdb: FrozenSet[str],
+    i: Interpretation,
+    *,
+    max_iterations: int = 100_000,
+    strict: bool = True,
+    on_step: Optional[Callable[[int, Interpretation], None]] = None,
+) -> FixpointResult:
+    """Iterate ``J ← T_P(J, I)`` from ``J_∅`` until a fixpoint.
+
+    Raises :class:`NonTerminationError` after ``max_iterations`` steps,
+    with ``ascending=True`` when the chain was still ⊑-increasing
+    (transfinite behaviour, Example 5.1) and ``ascending=False`` when an
+    oscillation was detected (non-monotonic program).
+    """
+    j = Interpretation(program.declarations)
+    ascending = True
+    trajectory: List[int] = []
+    seen: Dict[int, int] = {j.fingerprint(): 0}
+    for step in range(1, max_iterations + 1):
+        j_next = apply_tp(program, cdb, j, i, strict=strict)
+        if on_step is not None:
+            on_step(step, j_next)
+        trajectory.append(j_next.total_size())
+        if j_next == j:
+            return FixpointResult(
+                interpretation=j,
+                iterations=step - 1,
+                ascending=ascending,
+                trajectory=trajectory,
+            )
+        if ascending and not j.leq(j_next):
+            ascending = False
+        fp = j_next.fingerprint()
+        if fp in seen and not ascending:
+            raise NonTerminationError(
+                f"T_P oscillates (state of step {step} already seen at step "
+                f"{seen[fp]}); the component is not monotonic on this "
+                f"extension",
+                ascending=False,
+            )
+        seen[fp] = step
+        j = j_next
+    raise NonTerminationError(
+        f"no fixpoint after {max_iterations} iterations "
+        f"({'still ascending — may require transfinite iteration' if ascending else 'not ascending'})",
+        ascending=ascending,
+    )

@@ -1,0 +1,69 @@
+"""The immediate consequence operator ``T_P(J, I)`` (Definition 3.7).
+
+``T_P(J, I)`` is one *simultaneous* application of every rule of the
+component to the current CDB interpretation ``J`` and the fixed
+lower-component interpretation ``I``, joined with ``J_∅`` (the
+interpretation giving default values to all instances of default-value
+cost predicates).  ``J_∅``'s contribution is implicit here: cores never
+store default values, and lookups fall back to the default
+(:class:`~repro.engine.interpretation.Relation`).
+
+The runtime cost-consistency check lives here: two rule instances deriving
+atoms that differ only in the cost argument raise
+:class:`~repro.datalog.errors.CostConsistencyError`, per the paper's
+standing assumption that components are cost consistent.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.engine.grounding import EvalContext, evaluate_body, ground_head, schedule
+from repro.engine.interpretation import Interpretation
+
+
+def apply_tp(
+    program: Program,
+    cdb: FrozenSet[str],
+    j: Interpretation,
+    i: Interpretation,
+    *,
+    rules: Optional[List[Rule]] = None,
+    strict: bool = True,
+    negation_source: Optional[Interpretation] = None,
+    aggregate_source: Optional[Interpretation] = None,
+) -> Interpretation:
+    """One application of ``T_P`` for the component with head set ``cdb``.
+
+    ``rules`` defaults to every program rule whose head predicate is in
+    ``cdb``.  With ``strict=False`` conflicting cost derivations are
+    joined instead of raising (used by the semi-naive evaluator, which is
+    only sound for monotonic programs anyway).  ``negation_source`` /
+    ``aggregate_source`` fix those subgoal kinds to an oracle
+    interpretation (reducts, Sections 5.3–5.5).
+    """
+    if rules is None:
+        rules = [r for r in program.rules if r.head.predicate in cdb]
+    ctx = EvalContext(
+        program,
+        cdb,
+        j,
+        i,
+        negation_source=negation_source,
+        aggregate_source=aggregate_source,
+    )
+    out = Interpretation(program.declarations)
+    for rule in rules:
+        order = schedule(rule, program)
+        for bindings in evaluate_body(rule, ctx, order=order):
+            predicate, args = ground_head(rule, bindings)
+            rel = out.relation(predicate)
+            if rel.is_cost:
+                assert rel.decl.lattice is not None
+                rel.decl.lattice.validate(args[-1])
+                rel.set_cost(args[:-1], args[-1], strict=strict)
+            else:
+                rel.add_tuple(args)
+    return out

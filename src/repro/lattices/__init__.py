@@ -1,0 +1,95 @@
+"""Complete lattices of cost values (Section 2.1 and Figure 1).
+
+The registry at the bottom maps the names used in program declarations
+(``@lattice cost = reals_ge.``) to singleton lattice instances; parametric
+lattices (powersets, chains, products) are constructed programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lattices.base import Lattice, LatticeError, LatticeValueError
+from repro.lattices.boolean import BooleanAnd, BooleanOr
+from repro.lattices.divisibility import Divisibility
+from repro.lattices.combinators import (
+    DualLattice,
+    FiniteChain,
+    FlatLattice,
+    ProductLattice,
+)
+from repro.lattices.numeric import (
+    INF,
+    NEG_INF,
+    AscendingReals,
+    BoundedReals,
+    DescendingReals,
+    Naturals,
+    NonNegativeReals,
+    PositiveIntegers,
+)
+from repro.lattices.properties import LatticeReport, check_lattice
+from repro.lattices.sets import EdgeMultisets, PowersetIntersection, PowersetUnion
+
+#: Singleton instances for the non-parametric lattices.
+REALS_LE = AscendingReals()
+REALS_GE = DescendingReals()
+NONNEG_REALS_LE = NonNegativeReals()
+POS_INTS_LE = PositiveIntegers()
+NATURALS_LE = Naturals()
+BOOL_LE = BooleanOr()
+BOOL_GE = BooleanAnd()
+
+#: Declaration-name → lattice, used by the parser and the ``Database`` API.
+REGISTRY: Dict[str, Lattice] = {
+    lat.name: lat
+    for lat in (
+        REALS_LE,
+        REALS_GE,
+        NONNEG_REALS_LE,
+        POS_INTS_LE,
+        NATURALS_LE,
+        BOOL_LE,
+        BOOL_GE,
+    )
+}
+# Convenient aliases matching how the paper talks about the domains.
+REGISTRY["min"] = REALS_GE  # min programs: ⊑ is ≥ (Example 3.1's "Beware!")
+REGISTRY["max"] = REALS_LE
+REGISTRY["sum"] = NONNEG_REALS_LE
+REGISTRY["count"] = NATURALS_LE
+REGISTRY["bool"] = BOOL_LE
+
+__all__ = [
+    "Lattice",
+    "LatticeError",
+    "LatticeValueError",
+    "LatticeReport",
+    "check_lattice",
+    "AscendingReals",
+    "DescendingReals",
+    "NonNegativeReals",
+    "PositiveIntegers",
+    "Naturals",
+    "BoundedReals",
+    "BooleanOr",
+    "BooleanAnd",
+    "PowersetUnion",
+    "PowersetIntersection",
+    "EdgeMultisets",
+    "Divisibility",
+    "DualLattice",
+    "FiniteChain",
+    "FlatLattice",
+    "ProductLattice",
+    "REGISTRY",
+    "REALS_LE",
+    "REALS_GE",
+    "NONNEG_REALS_LE",
+    "POS_INTS_LE",
+    "NATURALS_LE",
+    "BOOL_LE",
+    "BOOL_GE",
+    "INF",
+    "NEG_INF",
+]

@@ -1,0 +1,57 @@
+"""The divisibility lattice: naturals ordered by "divides".
+
+``a ⊑ b`` iff ``a | b``; join = lcm, meet = gcd; bottom = 1 (divides
+everything), top = 0 (divisible by everything — the standard completion
+of the divisibility order).  A classic complete lattice that is neither a
+chain nor a powerset, useful both as a stress test of the framework's
+lattice-genericity and for period/stride analyses (the lcm of all cycle
+lengths reaching a node, for instance) via the generic
+:class:`~repro.aggregates.generic.LatticeJoin` aggregate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Optional
+
+from repro.lattices.base import Lattice
+
+
+class Divisibility(Lattice):
+    """``(N, |)`` with join = lcm, meet = gcd, ⊥ = 1, ⊤ = 0."""
+
+    name = "divisibility"
+    is_chain = False
+
+    def leq(self, a: Any, b: Any) -> bool:
+        if b == 0:
+            return True  # everything divides 0
+        if a == 0:
+            return False  # 0 divides only 0
+        return b % a == 0
+
+    def join(self, a: Any, b: Any) -> Any:
+        if a == 0 or b == 0:
+            return 0
+        return a * b // math.gcd(a, b)
+
+    def meet(self, a: Any, b: Any) -> Any:
+        return math.gcd(a, b)  # gcd(0, x) == x: correct at the top too
+
+    @property
+    def bottom(self) -> int:
+        return 1
+
+    @property
+    def top(self) -> int:
+        return 0
+
+    def __contains__(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and value >= 0
+        )
+
+    def sample(self) -> Optional[Iterator[Any]]:
+        return iter([1, 2, 3, 4, 6, 12, 5, 0])

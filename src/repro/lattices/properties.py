@@ -1,0 +1,113 @@
+"""Empirical checkers for the lattice axioms (Definition 2.1).
+
+A :class:`Lattice` object *claims* to be a complete lattice; these checkers
+verify the claim on a finite sample of elements: partial-order axioms for
+``leq`` and the least-upper-bound / greatest-lower-bound laws for
+``join`` / ``meet``, plus the extremality of ``bottom`` / ``top``.
+
+They are used three ways:
+
+* unit tests assert each shipped lattice passes on its ``sample()``;
+* hypothesis property tests feed generated elements through them;
+* the Figure 1 benchmark prints a verified row per aggregate function,
+  and the lattice columns of that row come from here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.lattices.base import Lattice
+
+
+@dataclass
+class LatticeReport:
+    """Outcome of checking one lattice on one sample."""
+
+    lattice_name: str
+    sample_size: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return f"{self.lattice_name}: {status} on {self.sample_size} elements"
+
+
+def check_partial_order(lattice: Lattice, sample: Sequence[Any]) -> List[str]:
+    """Reflexivity, antisymmetry and transitivity of ``leq`` on ``sample``."""
+    problems: List[str] = []
+    for a in sample:
+        if not lattice.leq(a, a):
+            problems.append(f"not reflexive at {a!r}")
+    for a, b in itertools.permutations(sample, 2):
+        if lattice.leq(a, b) and lattice.leq(b, a) and a != b:
+            problems.append(f"not antisymmetric at {a!r}, {b!r}")
+    for a, b, c in itertools.product(sample, repeat=3):
+        if lattice.leq(a, b) and lattice.leq(b, c) and not lattice.leq(a, c):
+            problems.append(f"not transitive at {a!r} ⊑ {b!r} ⊑ {c!r}")
+    return problems
+
+
+def check_bounds(lattice: Lattice, sample: Sequence[Any]) -> List[str]:
+    """``bottom ⊑ x ⊑ top`` for every sampled ``x``."""
+    problems: List[str] = []
+    bot, top = lattice.bottom, lattice.top
+    for x in sample:
+        if not lattice.leq(bot, x):
+            problems.append(f"bottom {bot!r} not below {x!r}")
+        if not lattice.leq(x, top):
+            problems.append(f"top {top!r} not above {x!r}")
+    return problems
+
+
+def check_join_meet(lattice: Lattice, sample: Sequence[Any]) -> List[str]:
+    """``join`` is the lub and ``meet`` the glb of each sampled pair.
+
+    lub law: a ⊑ a⊔b, b ⊑ a⊔b, and a⊔b ⊑ u for every sampled upper
+    bound u; dually for glb.
+    """
+    problems: List[str] = []
+    for a, b in itertools.combinations_with_replacement(sample, 2):
+        j = lattice.join(a, b)
+        m = lattice.meet(a, b)
+        if not (lattice.leq(a, j) and lattice.leq(b, j)):
+            problems.append(f"{j!r} is not an upper bound of {a!r}, {b!r}")
+        if not (lattice.leq(m, a) and lattice.leq(m, b)):
+            problems.append(f"{m!r} is not a lower bound of {a!r}, {b!r}")
+        for u in sample:
+            if lattice.leq(a, u) and lattice.leq(b, u) and not lattice.leq(j, u):
+                problems.append(
+                    f"join {j!r} not least: {u!r} is a smaller upper bound "
+                    f"of {a!r}, {b!r}"
+                )
+            if lattice.leq(u, a) and lattice.leq(u, b) and not lattice.leq(u, m):
+                problems.append(
+                    f"meet {m!r} not greatest: {u!r} is a larger lower "
+                    f"bound of {a!r}, {b!r}"
+                )
+    return problems
+
+
+def check_lattice(
+    lattice: Lattice, sample: Sequence[Any] | None = None
+) -> LatticeReport:
+    """Run every axiom check; return a :class:`LatticeReport`."""
+    if sample is None:
+        provided = lattice.sample()
+        if provided is None:
+            raise ValueError(
+                f"lattice {lattice.name} has no built-in sample; pass one"
+            )
+        sample = list(provided)
+    sample = list(sample)
+    report = LatticeReport(lattice_name=lattice.name, sample_size=len(sample))
+    report.violations += check_partial_order(lattice, sample)
+    report.violations += check_bounds(lattice, sample)
+    report.violations += check_join_meet(lattice, sample)
+    return report

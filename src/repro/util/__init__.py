@@ -1,0 +1,6 @@
+"""Small shared utilities: multisets, matching, deterministic RNG helpers."""
+
+from repro.util.multiset import FrozenMultiset
+from repro.util.matching import maximum_bipartite_matching
+
+__all__ = ["FrozenMultiset", "maximum_bipartite_matching"]

@@ -1,0 +1,83 @@
+"""Maximum bipartite matching (Hopcroft–Karp).
+
+Used to decide the paper's multiset order ``I ⊑_D I'`` (Section 4.1): an
+*injective* map from the elements of ``I`` to elements of ``I'`` with
+``i ⊑_D m(i)`` exists iff the bipartite compatibility graph between the two
+multisets has a matching saturating the left side.
+
+The implementation is self-contained (no networkx dependency in the core
+library); instances are small — multisets produced by aggregate groups.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+_INF = float("inf")
+
+
+def maximum_bipartite_matching(
+    n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]
+) -> Dict[int, int]:
+    """Return a maximum matching as a ``{left_index: right_index}`` dict.
+
+    ``adjacency[u]`` lists the right-side vertices compatible with left
+    vertex ``u``.  Runs Hopcroft–Karp in O(E·sqrt(V)).
+
+    >>> maximum_bipartite_matching(2, 2, [[0, 1], [0]])
+    {0: 1, 1: 0}
+    """
+    if len(adjacency) != n_left:
+        raise ValueError(
+            f"adjacency has {len(adjacency)} rows, expected {n_left}"
+        )
+    match_left: List[int] = [-1] * n_left
+    match_right: List[int] = [-1] * n_right
+    dist: List[float] = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue: deque = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found_free = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dfs(u)
+
+    return {u: v for u, v in enumerate(match_left) if v != -1}
+
+
+def has_saturating_matching(
+    n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]
+) -> bool:
+    """True iff a matching covering every left vertex exists."""
+    if n_left > n_right:
+        return False
+    return len(maximum_bipartite_matching(n_left, n_right, adjacency)) == n_left

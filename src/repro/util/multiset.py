@@ -1,0 +1,123 @@
+"""An immutable, hashable multiset.
+
+Aggregate functions in the paper (Definition 2.4) are maps from *multisets*
+over a cost domain into a range.  SQL-style projection retains duplicates,
+so the engine collects the cost column of a group into a
+:class:`FrozenMultiset` before applying the aggregate function.
+
+The class intentionally mirrors the small slice of ``collections.Counter``
+that the engine needs, but is immutable (usable as a dict key, safe to share
+between interpretations) and iterates elements *with* multiplicity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, Iterator, Tuple
+
+
+class FrozenMultiset:
+    """An immutable multiset (bag) of hashable elements.
+
+    >>> m = FrozenMultiset([1, 2, 2, 3])
+    >>> len(m)
+    4
+    >>> m.count(2)
+    2
+    >>> sorted(m)
+    [1, 2, 2, 3]
+    >>> m == FrozenMultiset([2, 1, 3, 2])
+    True
+    """
+
+    __slots__ = ("_counts", "_size", "_hash")
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        counts: Counter = Counter(items)
+        self._counts: Dict[Any, int] = dict(counts)
+        self._size = sum(self._counts.values())
+        self._hash: int | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Dict[Any, int]) -> "FrozenMultiset":
+        """Build a multiset from an ``{element: multiplicity}`` mapping.
+
+        Zero or negative multiplicities are rejected rather than silently
+        dropped, since they almost always indicate a caller bug.
+        """
+        for element, n in counts.items():
+            if n <= 0:
+                raise ValueError(
+                    f"multiplicity of {element!r} must be positive, got {n}"
+                )
+        out = cls()
+        out._counts = dict(counts)
+        out._size = sum(counts.values())
+        return out
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, element: Any) -> int:
+        """Multiplicity of ``element`` (0 if absent)."""
+        return self._counts.get(element, 0)
+
+    def support(self) -> Iterator[Any]:
+        """Iterate the distinct elements (each once)."""
+        return iter(self._counts)
+
+    def items(self) -> Iterator[Tuple[Any, int]]:
+        """Iterate ``(element, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def __iter__(self) -> Iterator[Any]:
+        for element, n in self._counts.items():
+            for _ in range(n):
+                yield element
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._counts
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- algebra -----------------------------------------------------------
+
+    def add(self, element: Any, n: int = 1) -> "FrozenMultiset":
+        """Return a new multiset with ``n`` extra copies of ``element``."""
+        if n <= 0:
+            raise ValueError(f"can only add a positive count, got {n}")
+        counts = dict(self._counts)
+        counts[element] = counts.get(element, 0) + n
+        return FrozenMultiset.from_counts(counts)
+
+    def union(self, other: "FrozenMultiset") -> "FrozenMultiset":
+        """Multiset sum (multiplicities add)."""
+        counts = dict(self._counts)
+        for element, n in other.items():
+            counts[element] = counts.get(element, 0) + n
+        return FrozenMultiset.from_counts(counts) if counts else FrozenMultiset()
+
+    def issubmultiset(self, other: "FrozenMultiset") -> bool:
+        """True if every multiplicity here is ≤ the one in ``other``."""
+        return all(n <= other.count(element) for element, n in self.items())
+
+    # -- dunder plumbing ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrozenMultiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(x) for x in sorted(self, key=repr))
+        return f"FrozenMultiset([{inner}])"

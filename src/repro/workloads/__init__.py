@@ -1,0 +1,27 @@
+"""Deterministic synthetic workloads + engine-independent oracles."""
+
+from repro.workloads.circuits import CircuitInstance, circuit_oracle, random_circuit
+from repro.workloads.graphs import (
+    bellman_ford_all_pairs,
+    cycle_graph,
+    dijkstra_all_pairs,
+    random_dag,
+    random_digraph,
+)
+from repro.workloads.ownership import company_control_oracle, random_ownership
+from repro.workloads.social import party_oracle, random_party
+
+__all__ = [
+    "random_digraph",
+    "random_dag",
+    "cycle_graph",
+    "dijkstra_all_pairs",
+    "bellman_ford_all_pairs",
+    "random_ownership",
+    "company_control_oracle",
+    "random_party",
+    "party_oracle",
+    "CircuitInstance",
+    "random_circuit",
+    "circuit_oracle",
+]

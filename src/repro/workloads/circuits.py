@@ -1,0 +1,96 @@
+"""Random boolean circuits for the Example 4.4 experiments.
+
+``random_circuit`` builds AND/OR circuits with arbitrary fan-in; an
+optional fraction of feedback connections makes them cyclic (the paper's
+interesting case).  ``circuit_oracle`` computes the minimal behaviour by
+the obvious gate-level iteration from the all-zero state — a monotone
+map (AND/OR circuits are monotone in their wire vector), so the iteration
+converges to the least fixpoint the paper's semantics prescribes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class CircuitInstance:
+    """One generated circuit: named wires, gates, connections, inputs."""
+
+    gates: List[Tuple[str, str]] = field(default_factory=list)  # (gate, kind)
+    connects: List[Tuple[str, str]] = field(default_factory=list)  # (gate, wire)
+    inputs: List[Tuple[str, int]] = field(default_factory=list)  # (wire, 0/1)
+
+
+def random_circuit(
+    n_gates: int,
+    *,
+    n_inputs: int = 8,
+    fan_in: int = 3,
+    feedback_fraction: float = 0.0,
+    seed: int = 0,
+) -> CircuitInstance:
+    """A random AND/OR circuit.
+
+    Gates are wired to earlier wires (inputs or earlier gates), keeping
+    the base circuit acyclic; ``feedback_fraction`` of the gates also get
+    one connection to a *later* gate, creating cycles.
+    """
+    rng = random.Random(seed)
+    circuit = CircuitInstance()
+    wires: List[str] = []
+    for i in range(n_inputs):
+        wire = f"w{i}"
+        circuit.inputs.append((wire, rng.randint(0, 1)))
+        wires.append(wire)
+    gate_names = [f"g{i}" for i in range(n_gates)]
+    for idx, gate in enumerate(gate_names):
+        kind = rng.choice(["and", "or"])
+        circuit.gates.append((gate, kind))
+        k = rng.randint(1, fan_in)
+        sources = rng.sample(wires, k=min(k, len(wires)))
+        for source in sources:
+            circuit.connects.append((gate, source))
+        if rng.random() < feedback_fraction and idx + 1 < n_gates:
+            later = gate_names[rng.randrange(idx + 1, n_gates)]
+            circuit.connects.append((gate, later))
+        wires.append(gate)
+    # Deduplicate connections (repeated inputs serve no purpose, §4.4).
+    circuit.connects = sorted(set(circuit.connects))
+    return circuit
+
+
+def circuit_oracle(circuit: CircuitInstance) -> Dict[str, int]:
+    """Minimal (least-fixpoint) wire values of the circuit.
+
+    Starts from the all-zero state (the default value of ``t``) and
+    iterates the gate functions; AND/OR circuits are monotone in the wire
+    vector, so this converges to the least fixpoint.
+    """
+    values: Dict[str, int] = {}
+    for wire, value in circuit.inputs:
+        values[wire] = value
+    for gate, _ in circuit.gates:
+        values.setdefault(gate, 0)
+
+    fan_in: Dict[str, List[str]] = {}
+    for gate, wire in circuit.connects:
+        fan_in.setdefault(gate, []).append(wire)
+
+    while True:
+        changed = False
+        for gate, kind in circuit.gates:
+            source_values = [values.get(w, 0) for w in fan_in.get(gate, [])]
+            if kind == "and":
+                # all([]) is True: the empty conjunction is 1, matching the
+                # engine's AND(∅) = 1 convention.
+                new = 1 if all(source_values) else 0
+            else:
+                new = 1 if any(source_values) else 0
+            if values[gate] != new:
+                values[gate] = new
+                changed = True
+        if not changed:
+            return values

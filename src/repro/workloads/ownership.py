@@ -1,0 +1,89 @@
+"""Ownership networks for the company-control experiments (Example 2.7).
+
+``random_ownership`` distributes each company's shares over a few random
+owners and plants a control chain so the recursive case actually fires.
+``company_control_oracle`` computes the controls relation directly
+(iterated set fixpoint in plain Python) — an engine-independent baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+Share = Tuple[int, int, float]  # (owner, company, fraction)
+
+
+def random_ownership(
+    n: int,
+    *,
+    owners_per_company: int = 3,
+    chain_length: int = 4,
+    seed: int = 0,
+) -> List[Share]:
+    """Random share distribution over companies ``0..n-1``.
+
+    Every company's incoming fractions sum to (at most) 1.  A control
+    chain ``0 → 1 → ... → chain_length`` is planted by handing each link
+    0.6 of the next company, so transitive control via the recursive rule
+    is guaranteed to occur.
+    """
+    if n < 2:
+        raise ValueError("need at least two companies")
+    rng = random.Random(seed)
+    shares: Dict[Tuple[int, int], float] = {}
+    chain_length = min(chain_length, n - 1)
+    for i in range(chain_length):
+        shares[(i, i + 1)] = 0.6
+    for company in range(n):
+        remaining = 1.0 - sum(
+            fraction for (_, c), fraction in shares.items() if c == company
+        )
+        owners = rng.sample(
+            [o for o in range(n) if o != company], k=min(owners_per_company, n - 1)
+        )
+        for owner in owners:
+            if remaining <= 0.01:
+                break
+            fraction = round(rng.uniform(0.01, remaining / 2), 3)
+            key = (owner, company)
+            if key in shares:
+                continue
+            shares[key] = fraction
+            remaining -= fraction
+    return [(o, c, f) for (o, c), f in sorted(shares.items())]
+
+
+def company_control_oracle(shares: List[Share]) -> Set[Tuple[int, int]]:
+    """Direct fixpoint of the company-control definition.
+
+    ``controls(x, y)`` iff the shares of ``y`` held by ``x`` and by
+    companies ``x`` controls sum to more than 0.5.  Iterates the monotone
+    operator on the controls set until stable.
+    """
+    by_owner: Dict[int, List[Tuple[int, float]]] = {}
+    companies: Set[int] = set()
+    for owner, company, fraction in shares:
+        by_owner.setdefault(owner, []).append((company, fraction))
+        companies.add(owner)
+        companies.add(company)
+
+    controls: Set[Tuple[int, int]] = set()
+    while True:
+        added = False
+        for x in companies:
+            holders = [x] + [z for (cx, z) in controls if cx == x]
+            totals: Dict[int, float] = {}
+            counted: Set[Tuple[int, int]] = set()
+            for holder in holders:
+                for company, fraction in by_owner.get(holder, []):
+                    if (holder, company) in counted:
+                        continue
+                    counted.add((holder, company))
+                    totals[company] = totals.get(company, 0.0) + fraction
+            for company, total in totals.items():
+                if total > 0.5 and (x, company) not in controls:
+                    controls.add((x, company))
+                    added = True
+        if not added:
+            return controls

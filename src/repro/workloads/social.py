@@ -1,0 +1,64 @@
+"""Social graphs for the party-invitation experiments (Example 4.3).
+
+``random_party`` draws a random ``knows`` relation (cyclic on purpose —
+the paper's point is that cycles are the common case) and per-guest
+thresholds; ``party_oracle`` runs the obvious monotone set iteration
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+
+def random_party(
+    n: int,
+    *,
+    friends_per_guest: float = 4.0,
+    max_requirement: int = 3,
+    zero_requirement_fraction: float = 0.15,
+    seed: int = 0,
+) -> Tuple[List[Tuple[int, int]], Dict[int, int]]:
+    """(knows arcs, requirements) for guests ``0..n-1``.
+
+    A slice of guests requires nobody (they seed the monotone cascade);
+    the rest require 1..max_requirement acquaintances.
+    """
+    rng = random.Random(seed)
+    knows: Set[Tuple[int, int]] = set()
+    m = int(n * friends_per_guest)
+    while len(knows) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            knows.add((a, b))
+    requires = {
+        guest: (
+            0
+            if rng.random() < zero_requirement_fraction
+            else rng.randint(1, max_requirement)
+        )
+        for guest in range(n)
+    }
+    return sorted(knows), requires
+
+
+def party_oracle(
+    knows: List[Tuple[int, int]], requires: Dict[int, int]
+) -> Set[int]:
+    """Who comes: least fixpoint of the threshold cascade."""
+    known: Dict[int, Set[int]] = {}
+    for a, b in knows:
+        known.setdefault(a, set()).add(b)
+
+    coming: Set[int] = set()
+    while True:
+        added = False
+        for guest, k in requires.items():
+            if guest in coming:
+                continue
+            if len(known.get(guest, set()) & coming) >= k:
+                coming.add(guest)
+                added = True
+        if not added:
+            return coming

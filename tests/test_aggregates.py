@@ -1,0 +1,189 @@
+"""Aggregate function values (Figure 1): results, empty multisets, limits."""
+
+import pytest
+
+from repro.aggregates import (
+    Average,
+    Count,
+    EmptyAggregateError,
+    GraphProperty,
+    HalfSum,
+    Intersection,
+    LogicalAnd,
+    LogicalAndAscending,
+    LogicalOr,
+    Maximum,
+    MaximumNonNegative,
+    Minimum,
+    Product,
+    Sum,
+    Union,
+    default_registry,
+)
+from repro.lattices import INF, NEG_INF
+from repro.util.multiset import FrozenMultiset
+
+
+def ms(*items):
+    return FrozenMultiset(items)
+
+
+class TestMinimum:
+    def test_value(self):
+        assert Minimum()(ms(3, 1, 2)) == 1
+
+    def test_duplicates_ignored_for_extrema(self):
+        assert Minimum()(ms(2, 2, 5)) == 2
+
+    def test_empty_is_bottom_of_ge_order(self):
+        # min(∅) = +∞ — the ⊑-least element of (R, ≥).
+        assert Minimum()(ms()) == INF
+
+    def test_infinite_element(self):
+        assert Minimum()(ms(INF, 4)) == 4
+
+
+class TestMaximum:
+    def test_value(self):
+        assert Maximum()(ms(3, 1, 2)) == 3
+
+    def test_empty_is_minus_infinity(self):
+        assert Maximum()(ms()) == NEG_INF
+
+    def test_nonnegative_variant_empty_is_zero(self):
+        assert MaximumNonNegative()(ms()) == 0
+
+
+class TestSum:
+    def test_value_respects_multiplicity(self):
+        assert Sum()(ms(2, 2, 3)) == 7
+
+    def test_empty_is_zero(self):
+        assert Sum()(ms()) == 0
+
+    def test_infinity_absorbs(self):
+        assert Sum()(ms(1, INF)) == INF
+
+    def test_integer_sums_stay_integral(self):
+        result = Sum()(ms(2, 3))
+        assert result == 5
+        assert isinstance(result, int)
+
+    def test_float_sums(self):
+        assert Sum()(ms(0.5, 0.25)) == pytest.approx(0.75)
+
+
+class TestHalfSum:
+    def test_value(self):
+        assert HalfSum()(ms(1, 1)) == 1
+
+    def test_empty(self):
+        assert HalfSum()(ms()) == 0
+
+    def test_example_5_1_step(self):
+        # With p(b,1) alone, halfsum gives 1/2; adding p(a,1/2) gives 3/4 …
+        assert HalfSum()(ms(1)) == 0.5
+        assert HalfSum()(ms(1, 0.5)) == 0.75
+
+
+class TestCount:
+    def test_counts_with_multiplicity(self):
+        assert Count()(ms(1, 1, 0)) == 3
+
+    def test_empty_is_zero(self):
+        assert Count()(ms()) == 0
+
+
+class TestProduct:
+    def test_value(self):
+        assert Product()(ms(2, 3, 3)) == 18
+
+    def test_empty_is_one(self):
+        assert Product()(ms()) == 1
+
+    def test_infinity(self):
+        assert Product()(ms(2, INF)) == INF
+
+
+class TestBooleans:
+    def test_and(self):
+        assert LogicalAnd()(ms(1, 1)) == 1
+        assert LogicalAnd()(ms(1, 0)) == 0
+        assert LogicalAnd()(ms()) == 1  # ⊥ of (B, ≥)
+
+    def test_and_ascending_empty_is_one(self):
+        # The empty conjunction is true even against the ≤ order — this is
+        # exactly why AND is only pseudo-monotonic there.
+        assert LogicalAndAscending()(ms()) == 1
+
+    def test_or(self):
+        assert LogicalOr()(ms(0, 0)) == 0
+        assert LogicalOr()(ms(0, 1)) == 1
+        assert LogicalOr()(ms()) == 0
+
+
+class TestSetAggregates:
+    def test_union(self):
+        f = Union("abc")
+        assert f(ms(frozenset("a"), frozenset("bc"))) == frozenset("abc")
+        assert f(ms()) == frozenset()
+
+    def test_intersection(self):
+        f = Intersection("abc")
+        assert f(ms(frozenset("ab"), frozenset("bc"))) == frozenset("b")
+        # intersection(∅) = the whole universe (⊥ of the ⊇ order).
+        assert f(ms()) == frozenset("abc")
+
+
+class TestGraphProperty:
+    def test_monotone_property(self):
+        has_two_edges = GraphProperty(
+            lambda edges: len(edges) >= 2, edge_universe=["e1", "e2", "e3"]
+        )
+        assert has_two_edges(ms(frozenset(["e1"]), frozenset(["e2"]))) == 1
+        assert has_two_edges(ms(frozenset(["e1"]))) == 0
+
+    def test_bare_edges_accepted(self):
+        prop = GraphProperty(lambda e: "e1" in e, edge_universe=["e1", "e2"])
+        assert prop(ms("e1")) == 1
+        assert prop(ms("e2")) == 0
+
+    def test_empty_graph(self):
+        trivial = GraphProperty(lambda e: True, edge_universe=["e"])
+        assert trivial(ms()) == 1
+
+
+class TestAverage:
+    def test_value(self):
+        assert Average()(ms(60, 80)) == 70
+
+    def test_multiplicity_matters(self):
+        assert Average()(ms(60, 60, 90)) == 70
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyAggregateError):
+            Average()(ms())
+
+    def test_has_no_empty_value(self):
+        assert not Average().has_empty_value
+
+
+class TestRegistry:
+    def test_contains_standard_names(self):
+        registry = default_registry()
+        for name in (
+            "min",
+            "max",
+            "sum",
+            "count",
+            "product",
+            "and",
+            "and_le",
+            "or",
+            "average",
+            "halfsum",
+        ):
+            assert name in registry, name
+
+    def test_fresh_instances(self):
+        assert default_registry()["min"] is not default_registry()["min"]

@@ -1,0 +1,91 @@
+"""The fluent builder DSL builds exactly what the parser builds."""
+
+import pytest
+
+from repro.core.builder import V, agg, agg_r, atom, constraint, not_, rule
+from repro.datalog.parser import parse_program, parse_rule
+
+
+X, Y, Z, C, C1, C2, D, N, K, W, G, M = V("X Y Z C C1 C2 D N K W G M")
+
+
+class TestEquivalenceWithParser:
+    def test_fact(self):
+        assert rule(atom("arc", "a", "b", 1)) == parse_rule("arc(a, b, 1).")
+
+    def test_positive_rule(self):
+        built = rule(atom("p", X), atom("q", X, Y))
+        assert built == parse_rule("p(X) <- q(X, Y).")
+
+    def test_negation(self):
+        built = rule(atom("p", X), atom("q", X), not_(atom("r", X)))
+        assert built == parse_rule("p(X) <- q(X), not r(X).")
+
+    def test_arithmetic(self):
+        built = rule(
+            atom("path", X, Z, Y, C),
+            atom("s", X, Z, C1),
+            atom("arc", Z, Y, C2),
+            C == C1 + C2,
+        )
+        assert built == parse_rule(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2."
+        )
+
+    def test_comparison_operators(self):
+        built = rule(atom("c", X, Y), atom("m", X, Y, N), N > 0.5)
+        assert built == parse_rule("c(X, Y) <- m(X, Y, N), N > 0.5.")
+
+    def test_reflected_arithmetic(self):
+        built = rule(atom("p", X, C), atom("q", X, D), C == 1 + D)
+        assert built == parse_rule("p(X, C) <- q(X, D), C = 1 + D.")
+
+    def test_restricted_aggregate(self):
+        built = rule(atom("s", X, Y, C), agg_r(C, "min", D, atom("path", X, Z, Y, D)))
+        assert built == parse_rule("s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.")
+
+    def test_unrestricted_aggregate_with_conjunction(self):
+        built = rule(
+            atom("t", G, C),
+            atom("gate", G, "or"),
+            agg(C, "or", D, atom("connect", G, W), atom("t", W, D)),
+        )
+        assert built == parse_rule(
+            "t(G, C) <- gate(G, or), C = or{D : connect(G, W), t(W, D)}."
+        )
+
+    def test_implicit_boolean_aggregate(self):
+        built = rule(
+            atom("coming", X),
+            atom("requires", X, K),
+            agg(N, "count", None, atom("kc", X, Y)),
+            N >= K,
+        )
+        assert built == parse_rule(
+            "coming(X) <- requires(X, K), N = count{kc(X, Y)}, N >= K."
+        )
+
+    def test_constraint(self):
+        built = constraint(atom("arc", "direct", Z, C))
+        parsed = parse_program(
+            "@constraint arc(direct, Z, C).\np(X) <- arc(X, Y, C)."
+        ).constraints[0]
+        assert built == parsed
+
+
+class TestBuilderErrors:
+    def test_atoms_reject_arith_expressions(self):
+        with pytest.raises(TypeError):
+            atom("p", X + 1)
+
+    def test_multiset_var_must_be_variable(self):
+        with pytest.raises(TypeError):
+            agg_r(C, "min", 3, atom("p", X, D))
+
+    def test_rule_rejects_non_subgoals(self):
+        with pytest.raises(TypeError):
+            rule(atom("p", X), "not a subgoal")
+
+    def test_division_operators(self):
+        built = rule(atom("p", X, C), atom("q", X, D), C == D / 2)
+        assert built == parse_rule("p(X, C) <- q(X, D), C = D / 2.")

@@ -1,0 +1,150 @@
+"""Monotonic built-in conjunctions ``E_r`` (Definitions 4.3–4.4)."""
+
+from repro.analysis.builtins_mono import (
+    FIXED,
+    UNKNOWN,
+    check_builtin_monotonicity,
+    expr_tag,
+    varies,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import ArithExpr, Constant, Variable
+
+
+HEADER = """
+@cost s/3 : reals_ge.
+@cost arc/3 : reals_ge.
+@cost path/4 : reals_ge.
+@cost m/3 : nonneg_reals_le.
+@cost cv/4 : nonneg_reals_le.
+@pred requires/2.
+@pred kc/2.
+"""
+
+
+def checked(source, cdb):
+    program = parse_program(HEADER + source)
+    rule = program.rules[-1]
+    return check_builtin_monotonicity(rule, program, frozenset(cdb))
+
+
+class TestPaperExamples:
+    def test_shortest_path_addition(self):
+        """C = C1 + C2 with C1 a CDB cost variable (the paper's own
+        worked example after Definition 4.4)."""
+        report = checked(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.",
+            {"path", "s"},
+        )
+        assert report.ok, report.violations
+
+    def test_company_control_threshold(self):
+        """N > 0.5 with N an upward-growing sum."""
+        report = checked(
+            "c(X, Y) <- m(X, Y, N), N > 0.5.", {"c", "m"}
+        )
+        assert report.ok, report.violations
+
+    def test_party_threshold_with_ldb_bound(self):
+        """N >= K: K is not a CDB cost variable (Example 4.3's remark)."""
+        report = checked(
+            "coming(X) <- requires(X, K), N = count{kc(X, Y)}, N >= K.",
+            {"coming", "kc"},
+        )
+        assert report.ok, report.violations
+
+
+class TestRejections:
+    def test_equality_against_constant(self):
+        report = checked("c(X) <- m(X, X, N), N = 0.5.", {"c", "m"})
+        assert not report.ok
+
+    def test_wrong_direction_comparison(self):
+        # N grows upward; N < 0.5 can be invalidated.
+        report = checked("c(X) <- m(X, X, N), N < 0.5.", {"c", "m"})
+        assert not report.ok
+
+    def test_subtraction_flips_direction(self):
+        # C = 1 - C1 moves against the head's order.
+        report = checked(
+            "m(X, X, C) <- cv(X, X, X, C1), C = 1 - C1.", {"m", "cv"}
+        )
+        assert not report.ok
+
+    def test_multiplication_by_unknown_sign(self):
+        report = checked(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 * C2.",
+            {"path", "s"},
+        )
+        assert not report.ok
+
+    def test_head_variable_never_bound(self):
+        report = checked(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C2 < 5.",
+            {"path", "s"},
+        )
+        assert not report.ok
+
+
+class TestAcceptedArithmetic:
+    def test_multiplication_by_nonnegative_constant(self):
+        report = checked(
+            "m(X, X, C) <- cv(X, X, X, C1), C = C1 * 2.", {"m", "cv"}
+        )
+        assert report.ok, report.violations
+
+    def test_division_by_positive_constant(self):
+        report = checked(
+            "m(X, X, C) <- cv(X, X, X, C1), C = C1 / 2.", {"m", "cv"}
+        )
+        assert report.ok, report.violations
+
+    def test_chained_definitions(self):
+        report = checked(
+            "m(X, X, C) <- cv(X, X, X, C1), A = C1 + 1, C = A + 2.",
+            {"m", "cv"},
+        )
+        assert report.ok, report.violations
+
+    def test_fixed_arithmetic_on_ldb(self):
+        report = checked(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), "
+            "B = C2 * C2, C = C1 + B.",
+            {"path", "s"},
+        )
+        assert report.ok, report.violations
+
+
+class TestExprTag:
+    X, Y = Variable("X"), Variable("Y")
+
+    def test_constant_fixed(self):
+        assert expr_tag(Constant(3), {}) is FIXED
+
+    def test_unbound_variable_unknown(self):
+        assert expr_tag(self.X, {}) is UNKNOWN
+
+    def test_addition_combines(self):
+        tags = {self.X: varies(1), self.Y: FIXED}
+        assert expr_tag(ArithExpr("+", self.X, self.Y), tags) == varies(1)
+
+    def test_conflicting_directions_unknown(self):
+        tags = {self.X: varies(1), self.Y: varies(-1)}
+        assert expr_tag(ArithExpr("+", self.X, self.Y), tags) is UNKNOWN
+
+    def test_same_directions_combine(self):
+        tags = {self.X: varies(-1), self.Y: varies(-1)}
+        assert expr_tag(ArithExpr("+", self.X, self.Y), tags) == varies(-1)
+
+    def test_negative_constant_multiplication_flips(self):
+        tags = {self.X: varies(1)}
+        assert expr_tag(ArithExpr("*", self.X, Constant(-2)), tags) == varies(-1)
+
+    def test_zero_multiplication_fixes(self):
+        tags = {self.X: varies(1)}
+        assert expr_tag(ArithExpr("*", self.X, Constant(0)), tags) is FIXED
+
+    def test_subtraction(self):
+        tags = {self.X: varies(1), self.Y: varies(1)}
+        assert expr_tag(ArithExpr("-", self.X, self.Y), tags) is UNKNOWN
+        assert expr_tag(ArithExpr("-", self.X, Constant(1)), tags) == varies(1)

@@ -1,0 +1,79 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sp_files(tmp_path):
+    rules = tmp_path / "sp.mad"
+    rules.write_text(
+        """
+        @cost arc/3  : reals_ge.
+        @cost path/4 : reals_ge.
+        @cost s/3    : reals_ge.
+        @constraint arc(direct, Z, C).
+        path(X, direct, Y, C) <- arc(X, Y, C).
+        path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.
+        """
+    )
+    facts = tmp_path / "facts.mad"
+    facts.write_text("arc(a, b, 1).\narc(b, c, 2).\n")
+    return str(rules), str(facts)
+
+
+class TestSolve:
+    def test_solve_files(self, sp_files, capsys):
+        rules, facts = sp_files
+        assert main(["solve", rules, "--facts", facts, "--query", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "s('a', 'c', 3)" in out
+
+    def test_builtin_program(self, sp_files, capsys):
+        _, facts = sp_files
+        code = main(
+            ["solve", "--program", "shortest-path", "--facts", facts,
+             "--query", "s"]
+        )
+        assert code == 0
+        assert "s('a', 'b', 1)" in capsys.readouterr().out
+
+    def test_methods(self, sp_files, capsys):
+        rules, facts = sp_files
+        for method in ("naive", "seminaive", "greedy"):
+            assert (
+                main(
+                    ["solve", rules, "--facts", facts, "--method", method,
+                     "--query", "s"]
+                )
+                == 0
+            )
+
+    def test_strict_rejects_bad_program(self, capsys):
+        assert main(["solve", "--program", "two-minimal-models"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_builtin(self, capsys):
+        assert main(["solve", "--program", "no-such"]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["solve", "/nonexistent/file.mad"]) == 2
+
+
+class TestAnalyze:
+    def test_admissible_exit_zero(self, sp_files, capsys):
+        rules, _ = sp_files
+        assert main(["analyze", rules]) == 0
+        assert "admissible/monotonic:  True" in capsys.readouterr().out
+
+    def test_non_admissible_exit_one(self, capsys):
+        assert main(["analyze", "--program", "two-minimal-models"]) == 1
+
+
+def test_examples_lists_catalog(capsys):
+    assert main(["examples"]) == 0
+    out = capsys.readouterr().out
+    assert "shortest-path" in out
+    assert "Example 2.6" in out

@@ -1,0 +1,103 @@
+"""Conflict-freedom (Definition 2.10) and its discharge mechanisms."""
+
+from repro.analysis.conflict import (
+    check_conflict_freedom,
+    check_pair,
+    is_conflict_free,
+    rename_apart,
+)
+from repro.datalog.parser import parse_program, parse_rule
+from repro.programs import ALL_PROGRAMS, circuit, company_control, shortest_path
+
+
+class TestRenameApart:
+    def test_variables_get_suffix(self):
+        rule = parse_rule("p(X, C) <- q(X, Y, C).")
+        renamed = rename_apart(rule, "_1")
+        assert "X_1" in str(renamed)
+        assert renamed.head.predicate == "p"
+
+
+class TestDischargeByContainment:
+    def test_company_control_cv_rules(self):
+        """Example 2.5/2.7: the two cv rules unify on non-cost args and a
+        containment mapping discharges them."""
+        program = company_control.database().program
+        cv_rules = program.rules_for("cv")
+        verdict = check_pair(cv_rules[0], cv_rules[1], program)
+        assert verdict.heads_unify
+        assert verdict.via == "containment"
+
+    def test_self_pair_discharged_by_identity(self):
+        program = parse_program(
+            "@cost p/2 : reals_le.\n@cost q/3 : reals_le.\n"
+            "p(X, C) <- q(X, a, C)."
+        )
+        rule = program.rules[0]
+        verdict = check_pair(rule, rule, program)
+        assert verdict.ok
+
+
+class TestDischargeByConstraint:
+    def test_shortest_path_needs_direct_constraint(self):
+        """Without ← arc(direct, Z, C), the two path rules may conflict;
+        with it, they are discharged."""
+        source = shortest_path.source
+        with_constraint = parse_program(source)
+        assert is_conflict_free(with_constraint)
+
+        without = parse_program(
+            source.replace("@constraint arc(direct, Z, C).", "")
+        )
+        report = check_conflict_freedom(without)
+        assert not report.ok
+        assert report.undischarged_pairs
+
+    def test_circuit_needs_disjointness(self):
+        source = circuit.source
+        assert is_conflict_free(parse_program(source))
+        # Dropping the input/gate disjointness re-opens rule pairs.
+        weakened = parse_program(
+            source.replace("@constraint input(W, C), gate(W, T).", "")
+        )
+        assert not is_conflict_free(weakened)
+
+
+class TestFailureModes:
+    def test_non_cost_respecting_rule_fails(self):
+        program = parse_program(
+            "@cost p/2 : reals_le.\n@cost q/3 : reals_le.\n"
+            "p(X, C) <- q(X, Y, C)."
+        )
+        report = check_conflict_freedom(program)
+        assert not report.ok
+        assert report.cost_respecting_failures
+
+    def test_two_incompatible_aggregate_rules(self):
+        """The Section 2.4 opener: min and sum of possibly-overlapping
+        groups define p twice."""
+        program = parse_program(
+            """
+            @cost p/2 : nonneg_reals_le.
+            @cost q/2 : nonneg_reals_le.
+            @cost r/2 : nonneg_reals_le.
+            p(X, C) <- C =r sum{D : q(X, D)}.
+            p(X, C) <- C =r max_nonneg{D : r(X, D)}.
+            """
+        )
+        report = check_conflict_freedom(program)
+        assert not report.ok
+        assert report.undischarged_pairs
+
+    def test_non_cost_heads_never_conflict(self):
+        program = parse_program("p(X) <- q(X).\np(X) <- r(X).")
+        assert is_conflict_free(program)
+
+
+def test_every_catalog_program_matches_its_claim():
+    for paper_program in ALL_PROGRAMS:
+        expected = paper_program.expected.get("conflict_free")
+        if expected is None:
+            continue
+        program = paper_program.database().program
+        assert is_conflict_free(program) == expected, paper_program.name

@@ -1,0 +1,94 @@
+"""Dependency graph, SCC condensation, stratification flags."""
+
+from repro.analysis.dependencies import (
+    EdgeKind,
+    condense,
+    dependency_edges,
+    is_aggregate_stratified,
+    is_negation_stratified,
+)
+from repro.datalog.parser import parse_program
+from repro.programs import company_control, shortest_path, student_averages
+
+
+class TestEdges:
+    def test_edge_kinds(self):
+        program = parse_program(
+            "@cost q/2 : reals_le.\n"
+            "p(X) <- q(X, C), not r(X), N = count{s(X, Y)}, N > 1."
+        )
+        kinds = {(e.body, e.kind) for e in dependency_edges(program)}
+        assert ("q", EdgeKind.POSITIVE) in kinds
+        assert ("r", EdgeKind.NEGATIVE) in kinds
+        assert ("s", EdgeKind.AGGREGATE) in kinds
+
+    def test_duplicates_removed(self):
+        program = parse_program("p(X) <- q(X), q(X).")
+        edges = dependency_edges(program)
+        assert len(edges) == 1
+
+
+class TestCondense:
+    def test_topological_order(self):
+        program = parse_program(
+            "a(X) <- b(X).\nb(X) <- c(X).\nc(X) <- e(X)."
+        )
+        components = condense(program)
+        order = [sorted(c.cdb)[0] for c in components]
+        assert order == ["c", "b", "a"]
+
+    def test_mutual_recursion_in_one_component(self):
+        program = parse_program("p(X) <- q(X).\nq(X) <- p(X).\nq(X) <- e(X).")
+        components = condense(program)
+        assert len(components) == 1
+        assert components[0].cdb == {"p", "q"}
+
+    def test_ldb_contains_lower_and_edb(self):
+        program = parse_program(
+            "low(X) <- e(X).\nhigh(X) <- low(X), f(X)."
+        )
+        components = condense(program)
+        high = next(c for c in components if "high" in c.cdb)
+        assert high.ldb == {"low", "f"}
+
+    def test_shortest_path_is_one_component(self):
+        program = shortest_path.database().program
+        components = condense(program)
+        assert len(components) == 1
+        comp = components[0]
+        assert comp.cdb == {"path", "s"}
+        assert comp.ldb == {"arc"}
+        assert comp.recursive_through_aggregation
+        assert not comp.recursive_through_negation
+
+    def test_company_control_component(self):
+        program = company_control.database().program
+        comp = condense(program)[0]
+        assert comp.cdb == {"cv", "m", "c"}
+
+    def test_student_averages_all_separate(self):
+        program = student_averages.database().program
+        components = condense(program)
+        # No mutual recursion anywhere: one component per head predicate.
+        assert all(len(c.cdb) == 1 for c in components)
+        assert not any(c.recursive_through_aggregation for c in components)
+        # all_avg aggregates c_avg, so c_avg's component comes first.
+        order = [sorted(c.cdb)[0] for c in components]
+        assert order.index("c_avg") < order.index("all_avg")
+
+    def test_self_loop_detected(self):
+        program = parse_program("p(X) <- p(X).")
+        comp = condense(program)[0]
+        assert EdgeKind.POSITIVE in comp.internal_kinds
+
+
+class TestStratificationFlags:
+    def test_aggregate_stratified(self):
+        assert is_aggregate_stratified(student_averages.database().program)
+        assert not is_aggregate_stratified(shortest_path.database().program)
+
+    def test_negation_stratified(self):
+        stratified = parse_program("p(X) <- e(X), not q(X).\nq(X) <- f(X).")
+        assert is_negation_stratified(stratified)
+        unstratified = parse_program("p(X) <- e(X), not q(X).\nq(X) <- p(X).")
+        assert not is_negation_stratified(unstratified)

@@ -1,0 +1,102 @@
+"""Cost-respecting rules via Armstrong closure (Definition 2.7, Example 2.3)."""
+
+from repro.analysis.fd import (
+    check_rule_cost_respecting,
+    fd_closure,
+    rule_functional_dependencies,
+    FunctionalDependency,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+
+
+HEADER = """
+@cost q/3 : reals_le.
+@cost p/2 : reals_le.
+@cost s/3 : reals_ge.
+@cost arc/3 : reals_ge.
+@cost path/4 : reals_ge.
+"""
+
+
+def rule_of(source):
+    program = parse_program(HEADER + source)
+    return program, program.rules[-1]
+
+
+class TestExample23:
+    def test_projection_rule_not_cost_respecting(self):
+        """p(X, C) ← q(X, Y, C): XY → C does not give X → C."""
+        program, rule = rule_of("p(X, C) <- q(X, Y, C).")
+        report = check_rule_cost_respecting(rule, program)
+        assert report.applicable
+        assert not report.ok
+
+    def test_path_rule_cost_respecting(self):
+        """XZ → C1, ZY → C2, C1C2 → C derive XZY → C."""
+        program, rule = rule_of(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2."
+        )
+        assert check_rule_cost_respecting(rule, program).ok
+
+    def test_min_rule_cost_respecting(self):
+        """The aggregate value is determined by its grouping variables."""
+        program, rule = rule_of(
+            "s(X, Y, C) <- C = min{D : path(X, Z, Y, D)}."
+        )
+        assert check_rule_cost_respecting(rule, program).ok
+
+
+class TestEdgeCases:
+    def test_non_cost_head_trivially_ok(self):
+        program, rule = rule_of("ok(X) <- q(X, Y, C).")
+        report = check_rule_cost_respecting(rule, program)
+        assert not report.applicable
+        assert report.ok
+
+    def test_constant_cost_head(self):
+        program, rule = rule_of("p(X, 1) <- q(X, Y, C).")
+        assert check_rule_cost_respecting(rule, program).ok
+
+    def test_copy_rule_is_cost_respecting(self):
+        program, rule = rule_of("p(X, C) <- q(X, X, C).")
+        assert check_rule_cost_respecting(rule, program).ok
+
+    def test_equality_both_directions(self):
+        program, rule = rule_of("p(X, C) <- q(X, X, D), D = C.")
+        assert check_rule_cost_respecting(rule, program).ok
+
+    def test_underdetermined_arithmetic(self):
+        # C = D + E with E free: {X}+ does not reach C.
+        program, rule = rule_of("p(X, C) <- q(X, X, D), C = D + E, E < 5.")
+        assert not check_rule_cost_respecting(rule, program).ok
+
+
+class TestClosure:
+    def test_reflexivity(self):
+        x = Variable("X")
+        assert x in fd_closure(frozenset([x]), [])
+
+    def test_transitivity(self):
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        fds = [
+            FunctionalDependency(frozenset([x]), y),
+            FunctionalDependency(frozenset([y]), z),
+        ]
+        assert z in fd_closure(frozenset([x]), fds)
+
+    def test_augmentation_implicit(self):
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        fds = [FunctionalDependency(frozenset([x, y]), z)]
+        assert z in fd_closure(frozenset([x, y]), fds)
+        assert z not in fd_closure(frozenset([x]), fds)
+
+    def test_collects_body_fds(self):
+        program, rule = rule_of(
+            "path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2."
+        )
+        fds = rule_functional_dependencies(rule, program)
+        rendered = {str(fd) for fd in fds}
+        assert "{X, Z} → C1" in rendered
+        assert "{Y, Z} → C2" in rendered
+        assert "{C1, C2} → C" in rendered

@@ -1,0 +1,181 @@
+"""Naive, semi-naive and greedy fixpoints: convergence, equivalence,
+non-termination diagnostics (Section 6.2)."""
+
+import pytest
+
+from repro.datalog.errors import NonTerminationError, ReproError
+from repro.analysis.dependencies import condense
+from repro.datalog.parser import parse_program
+from repro.engine.greedy import greedy_applicable, greedy_fixpoint
+from repro.engine.interpretation import Interpretation
+from repro.engine.naive import kleene_fixpoint
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.programs import (
+    circuit,
+    company_control,
+    halfsum_limit,
+    party_invitations,
+    shortest_path,
+    two_minimal_models,
+)
+from repro.workloads import (
+    circuit_oracle,
+    company_control_oracle,
+    dijkstra_all_pairs,
+    party_oracle,
+    random_circuit,
+    random_digraph,
+    random_ownership,
+    random_party,
+)
+
+
+class TestKleene:
+    def test_converges_and_reports_iterations(self):
+        db = shortest_path.database({"arc": [("a", "b", 1), ("b", "c", 1)]})
+        program = db.program
+        result = kleene_fixpoint(program, frozenset({"path", "s"}), db.edb())
+        assert result.ascending
+        assert result.iterations >= 2
+        assert result.trajectory == sorted(result.trajectory)
+
+    def test_empty_program_component(self):
+        program = parse_program("p(X) <- e(X).")
+        edb = Interpretation(program.declarations)
+        result = kleene_fixpoint(program, frozenset({"p"}), edb)
+        assert result.iterations == 0
+
+    def test_halfsum_raises_ascending(self):
+        """Example 5.1: the exact chain ascends forever toward p(a,1); a
+        budget below machine precision's ~53 doubling steps observes it
+        still strictly ascending."""
+        db = halfsum_limit.database()
+        with pytest.raises(NonTerminationError) as info:
+            kleene_fixpoint(
+                db.program, frozenset({"p"}), db.edb(), max_iterations=30
+            )
+        assert info.value.ascending is True
+
+    def test_halfsum_trajectory_approaches_one(self):
+        """p(a) climbs 1/2, 3/4, 7/8, ... — in float arithmetic the chain
+        closes at ≈1 once increments drop below one ulp, which is the
+        computable shadow of the paper's transfinite least model p(a,1)."""
+        db = halfsum_limit.database()
+        values = []
+        result = kleene_fixpoint(
+            db.program,
+            frozenset({"p"}),
+            db.edb(),
+            max_iterations=200,
+            on_step=lambda k, j: values.append(j["p"].get(("a",), 0)),
+        )
+        assert values[1] == 0.5
+        assert values[2] == 0.75
+        assert values == sorted(values)
+        assert result.interpretation["p"][("a",)] == pytest.approx(1.0)
+
+    def test_oscillation_detected_as_non_monotonic(self):
+        """p(a) ← 1 =r count{q(X)} etc. flip-flops from the empty start."""
+        program = parse_program(
+            "@pred p/1.\n@pred q/1.\n"
+            "p(a) <- 1 =r count{q(X)}.\n"
+            "q(a) <- 0 = count{p(X)}, e(Y)."
+        )
+        edb = Interpretation(program.declarations)
+        edb.add_fact("e", "y")
+        with pytest.raises(NonTerminationError) as info:
+            kleene_fixpoint(
+                program, frozenset({"p", "q"}), edb, max_iterations=50
+            )
+        assert info.value.ascending is False
+
+
+WORKLOAD_SEEDS = [0, 1, 2]
+
+
+class TestSemiNaiveEquivalence:
+    @pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+    def test_shortest_path(self, seed):
+        arcs = random_digraph(14, seed=seed)
+        naive = shortest_path.database({"arc": arcs}).solve(method="naive")
+        semi = shortest_path.database({"arc": arcs}).solve(method="seminaive")
+        assert naive.model == semi.model
+        assert semi.model["s"] == dijkstra_all_pairs(arcs)
+
+    @pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+    def test_company_control(self, seed):
+        shares = random_ownership(12, seed=seed)
+        naive = company_control.database({"s": shares}).solve(method="naive")
+        semi = company_control.database({"s": shares}).solve(method="seminaive")
+        assert naive.model == semi.model
+        assert set(semi.model["c"]) == company_control_oracle(shares)
+
+    @pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+    def test_party(self, seed):
+        knows, requires = random_party(16, seed=seed)
+        facts = {"knows": knows, "requires": list(requires.items())}
+        naive = party_invitations.database(facts).solve(method="naive")
+        semi = party_invitations.database(facts).solve(method="seminaive")
+        assert naive.model == semi.model
+        assert {g for (g,) in semi.model["coming"]} == party_oracle(
+            knows, requires
+        )
+
+    @pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+    def test_circuit(self, seed):
+        inst = random_circuit(10, feedback_fraction=0.3, seed=seed)
+        facts = {
+            "gate": inst.gates,
+            "connect": inst.connects,
+            "input": inst.inputs,
+        }
+        naive = circuit.database(facts).solve(method="naive")
+        semi = circuit.database(facts).solve(method="seminaive")
+        assert naive.model == semi.model
+        oracle = circuit_oracle(inst)
+        mine = {k[0]: v for k, v in semi.model["t"].items()}
+        assert all(mine.get(w, 0) == v for w, v in oracle.items())
+
+
+class TestGreedy:
+    def test_applicability(self):
+        program = shortest_path.database().program
+        component = condense(program)[0]
+        assert greedy_applicable(program, component) == -1
+
+    def test_not_applicable_to_mixed_components(self):
+        program = company_control.database().program
+        component = condense(program)[0]
+        # c has no cost argument: greedy does not apply.
+        assert greedy_applicable(program, component) is None
+
+    def test_requires_invariant_acknowledgement(self):
+        db = shortest_path.database({"arc": [("a", "b", 1)]})
+        component = condense(db.program)[0]
+        with pytest.raises(ReproError):
+            greedy_fixpoint(db.program, component, db.edb())
+
+    @pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+    def test_matches_naive_on_nonnegative(self, seed):
+        arcs = random_digraph(14, seed=seed)
+        db = shortest_path.database({"arc": arcs})
+        component = condense(db.program)[0]
+        greedy = greedy_fixpoint(
+            db.program, component, db.edb(), assume_invariant=True
+        )
+        naive = db.solve(method="naive")
+        assert greedy.interpretation["s"] == naive.model["s"]
+        assert greedy.interpretation["path"] == naive.model["path"]
+
+    def test_settles_each_key_once(self):
+        arcs = random_digraph(10, seed=3)
+        db = shortest_path.database({"arc": arcs})
+        component = condense(db.program)[0]
+        result = greedy_fixpoint(
+            db.program, component, db.edb(), assume_invariant=True
+        )
+        settled = result.iterations
+        total = len(result.interpretation["s"]) + len(
+            result.interpretation["path"]
+        )
+        assert settled == total

@@ -1,0 +1,189 @@
+"""Generic lattice aggregates (LatticeJoin / LatticeMeet) and the taint
+scenario as an integration test."""
+
+import pytest
+
+from repro.aggregates import (
+    LatticeJoin,
+    LatticeMeet,
+    LogicalOr,
+    Maximum,
+    Minimum,
+    Union,
+    verify_declared_class,
+    verify_monotonic,
+)
+from repro.core.database import Database
+from repro.lattices import (
+    BOOL_LE,
+    REALS_GE,
+    REALS_LE,
+    FiniteChain,
+    PowersetUnion,
+    ProductLattice,
+)
+from repro.util.multiset import FrozenMultiset
+
+
+def ms(*items):
+    return FrozenMultiset(items)
+
+
+class TestLatticeJoinSubsumesFigure1:
+    """The lub aggregate over the right lattice IS the Figure 1 function."""
+
+    def test_join_of_ge_order_is_min(self):
+        join = LatticeJoin(REALS_GE)
+        reference = Minimum()
+        for sample in (ms(3, 1, 2), ms(5), ms(0, 0)):
+            assert join(sample) == reference(sample)
+        assert join(ms()) == reference(ms())
+
+    def test_join_of_le_order_is_max(self):
+        join = LatticeJoin(REALS_LE)
+        reference = Maximum()
+        for sample in (ms(3, 1, 2), ms(-5), ms()):
+            assert join(sample) == reference(sample)
+
+    def test_join_of_bool_le_is_or(self):
+        join = LatticeJoin(BOOL_LE)
+        reference = LogicalOr()
+        for sample in (ms(0, 1), ms(0, 0), ms(1), ms()):
+            assert join(sample) == reference(sample)
+
+    def test_join_of_powerset_is_union(self):
+        lattice = PowersetUnion("abc")
+        join = LatticeJoin(lattice)
+        reference = Union("abc")
+        sample = ms(frozenset("a"), frozenset("bc"))
+        assert join(sample) == reference(sample)
+
+    def test_join_always_monotonic(self):
+        for lattice in (
+            REALS_GE,
+            REALS_LE,
+            BOOL_LE,
+            PowersetUnion("ab"),
+            FiniteChain([0, 1, 2, 3]),
+            ProductLattice([BOOL_LE, FiniteChain([0, 1, 2])]),
+        ):
+            verdicts = verify_declared_class(LatticeJoin(lattice))
+            assert all(v.holds for v in verdicts), lattice.name
+
+
+class TestLatticeMeet:
+    def test_meet_values(self):
+        meet = LatticeMeet(REALS_LE)
+        assert meet(ms(3, 1, 2)) == 1  # glb under ≤ is min
+        assert meet(ms()) == REALS_LE.top
+
+    def test_meet_is_not_monotonic(self):
+        verdict = verify_monotonic(LatticeMeet(REALS_LE))
+        assert not verdict.holds
+
+    def test_meet_over_cdb_rejected_by_admissibility(self):
+        db = Database()
+        db.register_aggregate(LatticeMeet(REALS_LE, name="glb_le"))
+        db.load(
+            "@cost p/2 : reals_le.\n@cost q/2 : reals_le.\n"
+            "p(X, C) <- C =r glb_le{D : q(X, D)}.\nq(X, C) <- p(X, C)."
+        )
+        report = db.analyze()
+        assert not report.admissible
+
+    def test_meet_over_ldb_allowed(self):
+        db = Database()
+        db.register_aggregate(LatticeMeet(REALS_LE, name="glb_le"))
+        db.load(
+            "@cost e/2 : reals_le.\n@cost p/2 : reals_le.\n"
+            "p(X, C) <- C =r glb_le{D : e(X, D)}."
+        )
+        assert db.analyze().admissible
+        db.add_fact("e", "a", 3)
+        db.add_fact("e", "b", 7)
+        # glb over a single-element group is the element itself.
+        assert db.solve()["p"] == {("a",): 3, ("b",): 7}
+
+
+class TestSecurityLatticeIntegration:
+    """A compact version of examples/taint_analysis.py as a regression."""
+
+    def build(self):
+        levels = FiniteChain(["public", "internal", "secret"], name="lvl")
+        db = Database()
+        db.register_lattice("lvl", levels)
+        db.register_aggregate(LatticeJoin(levels, name="lub_lvl"))
+        db.load(
+            """
+            @pred flow/2.
+            @cost src/2 : lvl.
+            @cost level/2 : lvl default.
+            @constraint src(X, L), snk(X).
+            level(X, L) <- src(X, L).
+            level(X, L) <- snk(X), L = lub_lvl{D : flow(Y, X), level(Y, D)}.
+            snk(X) <- flow(Y, X).
+            """
+        )
+        return db
+
+    def test_levels_propagate_through_cycles(self):
+        db = self.build()
+        for f in [("a", "b"), ("b", "c"), ("c", "b"), ("c", "d")]:
+            db.add_fact("flow", *f)
+        db.add_fact("src", "a", "secret")
+        assert db.analyze().admissible
+        result = db.solve()
+        level = {k[0]: v for k, v in result["level"].items()}
+        assert level["b"] == "secret"  # through the b↔c cycle
+        assert level["c"] == "secret"
+        assert level["d"] == "secret"
+
+    def test_join_of_mixed_levels(self):
+        db = self.build()
+        for f in [("a", "x"), ("b", "x")]:
+            db.add_fact("flow", *f)
+        db.add_fact("src", "a", "internal")
+        db.add_fact("src", "b", "public")
+        result = db.solve()
+        level = {k[0]: v for k, v in result["level"].items()}
+        assert level["x"] == "internal"
+
+    def test_untouched_nodes_stay_at_bottom(self):
+        db = self.build()
+        db.add_fact("flow", "a", "b")
+        db.add_fact("src", "a", "public")
+        result = db.solve()
+        # Everything stays at the default 'public': the stored core is empty
+        # except the explicit src row.
+        assert all(v == "public" for v in result["level"].values())
+
+
+class TestProductLatticeCosts:
+    """Pareto-style costs: a product of two chains, joined componentwise."""
+
+    def test_componentwise_accumulation(self):
+        risk = FiniteChain([0, 1, 2, 3], name="risk")
+        stage = FiniteChain(["dev", "beta", "prod"], name="stage")
+        combo = ProductLattice([risk, stage], name="riskstage")
+        db = Database()
+        db.register_lattice("riskstage", combo)
+        db.register_aggregate(LatticeJoin(combo, name="lub_rs"))
+        db.load(
+            """
+            @pred dep/2.
+            @cost tag/2 : riskstage.
+            @cost badge/2 : riskstage default.
+            @constraint tag(X, T), deptgt(X).
+            badge(X, B) <- tag(X, B).
+            badge(X, B) <- deptgt(X), B = lub_rs{D : dep(Y, X), badge(Y, D)}.
+            deptgt(X) <- dep(Y, X).
+            """
+        )
+        db.add_fact("dep", "lib", "app")
+        db.add_fact("dep", "svc", "app")
+        db.add_fact("tag", "lib", (3, "dev"))
+        db.add_fact("tag", "svc", (1, "prod"))
+        result = db.solve()
+        badge = {k[0]: v for k, v in result["badge"].items()}
+        # componentwise lub: worst risk AND latest stage.
+        assert badge["app"] == (3, "prod")

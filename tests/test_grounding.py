@@ -1,0 +1,240 @@
+"""Body evaluation: scheduling, joins, built-ins, aggregates, defaults."""
+
+import pytest
+
+from repro.datalog.errors import SafetyError
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.terms import Variable
+from repro.engine.grounding import (
+    EvalContext,
+    evaluate_body,
+    ground_head,
+    match_atom,
+    schedule,
+)
+from repro.engine.interpretation import Interpretation
+
+
+def setup(source, facts):
+    program = parse_program(source)
+    edb = Interpretation(program.declarations)
+    for predicate, rows in facts.items():
+        for row in rows:
+            edb.add_fact(predicate, *row)
+    j = Interpretation(program.declarations)
+    ctx = EvalContext(program, program.idb_predicates, j, edb)
+    return program, ctx
+
+
+def bindings_list(program, ctx, rule_index=0, initial=None):
+    rule = program.rules[rule_index]
+    return list(evaluate_body(rule, ctx, initial=initial))
+
+
+class TestScheduling:
+    def test_builtins_after_binding_atoms(self):
+        program = parse_program(
+            "@cost q/2 : reals_le.\np(X, C) <- C = A + 1, q(X, A)."
+        )
+        order = schedule(program.rules[0], program)
+        assert str(order[0]).startswith("q")
+
+    def test_negation_last(self):
+        program = parse_program("p(X) <- not r(X), q(X).")
+        order = schedule(program.rules[0], program)
+        assert str(order[-1]).startswith("not")
+
+    def test_impossible_schedule_raises(self):
+        program = parse_program("p(X) <- q(X), Y < Z.")
+        with pytest.raises(SafetyError):
+            schedule(program.rules[0], program)
+
+    def test_restricted_aggregate_can_generate_groups(self):
+        program = parse_program(
+            "@cost q/2 : reals_ge.\n@cost p/2 : reals_ge.\n"
+            "p(X, C) <- C =r min{D : q(X, D)}."
+        )
+        order = schedule(program.rules[0], program)
+        assert len(order) == 1  # the aggregate alone, generating X
+
+
+class TestJoins:
+    def test_two_way_join(self):
+        program, ctx = setup(
+            "p(X, Z) <- q(X, Y), r(Y, Z).",
+            {"q": [("a", "b"), ("a", "c")], "r": [("b", "z"), ("c", "w")]},
+        )
+        results = bindings_list(program, ctx)
+        pairs = {(b[Variable("X")], b[Variable("Z")]) for b in results}
+        assert pairs == {("a", "z"), ("a", "w")}
+
+    def test_repeated_variable_filters(self):
+        program, ctx = setup(
+            "p(X) <- q(X, X).", {"q": [("a", "a"), ("a", "b")]}
+        )
+        results = bindings_list(program, ctx)
+        assert [b[Variable("X")] for b in results] == ["a"]
+
+    def test_constants_filter(self):
+        program, ctx = setup(
+            "p(X) <- q(X, b).", {"q": [("a", "b"), ("c", "d")]}
+        )
+        assert len(bindings_list(program, ctx)) == 1
+
+    def test_initial_bindings_restrict(self):
+        program, ctx = setup(
+            "p(X) <- q(X, Y).", {"q": [("a", "b"), ("c", "d")]}
+        )
+        results = bindings_list(program, ctx, initial={Variable("X"): "c"})
+        assert len(results) == 1
+        assert results[0][Variable("Y")] == "d"
+
+
+class TestBuiltins:
+    def test_binding_equality(self):
+        program, ctx = setup(
+            "@cost q/2 : reals_le.\n@cost p/2 : reals_le.\n"
+            "p(X, C) <- q(X, A), C = A * 2.",
+            {"q": [("a", 3)]},
+        )
+        results = bindings_list(program, ctx)
+        assert results[0][Variable("C")] == 6
+
+    def test_checking_comparison(self):
+        program, ctx = setup(
+            "@cost q/2 : reals_le.\np(X) <- q(X, A), A > 2.",
+            {"q": [("a", 3), ("b", 1)]},
+        )
+        results = bindings_list(program, ctx)
+        assert [b[Variable("X")] for b in results] == ["a"]
+
+    def test_type_mismatch_is_unsatisfied(self):
+        program, ctx = setup(
+            "p(X) <- q(X, A), A > 2.", {"q": [("a", "not-a-number")]}
+        )
+        assert bindings_list(program, ctx) == []
+
+    def test_division_by_zero_is_unsatisfied(self):
+        program, ctx = setup(
+            "@cost q/2 : reals_le.\np(X) <- q(X, A), 1 / A > 1.",
+            {"q": [("a", 0)]},
+        )
+        assert bindings_list(program, ctx) == []
+
+
+class TestNegation:
+    def test_ordinary(self):
+        program, ctx = setup(
+            "p(X) <- q(X), not r(X).", {"q": [("a",), ("b",)], "r": [("b",)]}
+        )
+        results = bindings_list(program, ctx)
+        assert [b[Variable("X")] for b in results] == ["a"]
+
+    def test_cost_atom_negation_checks_value(self):
+        program, ctx = setup(
+            "@cost w/2 : reals_le.\np(X) <- q(X), not w(X, 3).",
+            {"q": [("a",), ("b",)], "w": [("a", 3), ("b", 4)]},
+        )
+        results = bindings_list(program, ctx)
+        assert [b[Variable("X")] for b in results] == ["b"]
+
+
+class TestAggregates:
+    def test_grouped_sum(self):
+        program, ctx = setup(
+            "@cost q/3 : nonneg_reals_le.\n@cost p/2 : nonneg_reals_le.\n"
+            "p(X, C) <- C =r sum{D : q(X, Y, D)}.",
+            {"q": [("a", "u", 1), ("a", "v", 2), ("b", "u", 5)]},
+        )
+        results = bindings_list(program, ctx)
+        totals = {b[Variable("X")]: b[Variable("C")] for b in results}
+        assert totals == {"a": 3, "b": 5}
+
+    def test_duplicates_retained_in_projection(self):
+        """Two different local bindings with the same cost both count."""
+        program, ctx = setup(
+            "@cost q/3 : nonneg_reals_le.\n@cost p/2 : nonneg_reals_le.\n"
+            "p(X, C) <- C =r sum{D : q(X, Y, D)}.",
+            {"q": [("a", "u", 2), ("a", "v", 2)]},
+        )
+        results = bindings_list(program, ctx)
+        assert results[0][Variable("C")] == 4
+
+    def test_restricted_fails_on_empty_group(self):
+        program, ctx = setup(
+            "@cost q/3 : nonneg_reals_le.\n@cost p/2 : nonneg_reals_le.\n"
+            "p(X, C) <- r(X), C =r sum{D : q(X, Y, D)}.",
+            {"q": [], "r": [("a",)]},
+        )
+        assert bindings_list(program, ctx) == []
+
+    def test_unrestricted_uses_empty_value(self):
+        program, ctx = setup(
+            "@cost q/3 : bool_le.\n@cost n/2 : naturals_le.\n"
+            "n(X, C) <- r(X), C = count{q(X, Y, D)}.",
+            {"q": [], "r": [("a",)]},
+        )
+        results = bindings_list(program, ctx)
+        assert results[0][Variable("C")] == 0
+
+    def test_bound_result_checks(self):
+        program, ctx = setup(
+            "@pred q/1.\np(a) <- 2 =r count{q(X)}.",
+            {"q": [("u",), ("v",)]},
+        )
+        assert len(bindings_list(program, ctx)) == 1
+        program2, ctx2 = setup(
+            "@pred q/1.\np(a) <- 3 =r count{q(X)}.",
+            {"q": [("u",), ("v",)]},
+        )
+        assert bindings_list(program2, ctx2) == []
+
+    def test_conjunction_inside_aggregate(self):
+        program, ctx = setup(
+            "@cost w/2 : nonneg_reals_le.\n@cost p/2 : nonneg_reals_le.\n"
+            "p(G, C) <- gate(G), C =r sum{D : conn(G, W), w(W, D)}.",
+            {
+                "gate": [("g1",)],
+                "conn": [("g1", "a"), ("g1", "b")],
+                "w": [("a", 1), ("b", 2), ("c", 100)],
+            },
+        )
+        results = bindings_list(program, ctx)
+        assert results[0][Variable("C")] == 3
+
+    def test_default_fallback_inside_aggregate(self):
+        program, ctx = setup(
+            "@default t/2 : bool_le.\n@cost out/2 : bool_le.\n"
+            "out(G, C) <- gate(G), C = and_le{D : conn(G, W), t(W, D)}.",
+            {"gate": [("g1",)], "conn": [("g1", "a"), ("g1", "b")], "t": [("a", 1)]},
+        )
+        results = bindings_list(program, ctx)
+        # t(b) falls back to the default 0, so AND = 0 — not an empty slot.
+        assert results[0][Variable("C")] == 0
+
+    def test_group_generation_by_restricted_aggregate(self):
+        # X is a grouping variable bound *by* the =r aggregate itself;
+        # Z is local, so the group for "a" spans two q keys.
+        program, ctx = setup(
+            "@cost q/3 : reals_ge.\n@cost p/2 : reals_ge.\n"
+            "p(X, C) <- C =r min{D : q(X, Z, D)}.",
+            {"q": [("a", "u", 3), ("a", "v", 2), ("b", "u", 7)]},
+        )
+        results = bindings_list(program, ctx)
+        grouped = {b[Variable("X")]: b[Variable("C")] for b in results}
+        assert grouped == {"a": 2, "b": 7}
+
+
+class TestGroundHead:
+    def test_produces_full_tuple(self):
+        rule = parse_rule("p(X, C) <- q(X, C).")
+        predicate, args = ground_head(
+            rule, {Variable("X"): "a", Variable("C"): 3}
+        )
+        assert predicate == "p"
+        assert args == ("a", 3)
+
+    def test_unbound_head_variable_raises(self):
+        rule = parse_rule("p(X, Y) <- q(X).")
+        with pytest.raises(SafetyError):
+            ground_head(rule, {Variable("X"): "a"})

@@ -1,0 +1,217 @@
+"""Interpretations: the complete lattice of Theorem 3.1, FD enforcement,
+default-value cores."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.errors import CostConsistencyError, ProgramError
+from repro.datalog.program import PredicateDecl
+from repro.engine.interpretation import Interpretation
+from repro.lattices import BOOL_LE, REALS_GE
+
+DECLS = {
+    "edge": PredicateDecl("edge", 2),
+    "s": PredicateDecl("s", 3, REALS_GE),
+    "t": PredicateDecl("t", 2, BOOL_LE, has_default=True),
+}
+
+
+def interp(**facts):
+    out = Interpretation(DECLS)
+    for predicate, rows in facts.items():
+        for row in rows:
+            out.add_fact(predicate, *row)
+    return out
+
+
+class TestBasics:
+    def test_add_and_read_ordinary(self):
+        i = interp(edge=[("a", "b")])
+        assert i["edge"] == {("a", "b")}
+
+    def test_add_and_read_cost(self):
+        i = interp(s=[("a", "b", 3)])
+        assert i["s"] == {("a", "b"): 3}
+
+    def test_arity_checked(self):
+        with pytest.raises(ProgramError):
+            interp(edge=[("a",)])
+
+    def test_cost_value_validated(self):
+        with pytest.raises(Exception):
+            interp(s=[("a", "b", "not-a-number")])
+
+    def test_unknown_predicate(self):
+        with pytest.raises(ProgramError):
+            Interpretation(DECLS).relation("mystery")
+
+    def test_fd_conflict_raises(self):
+        i = interp(s=[("a", "b", 3)])
+        with pytest.raises(CostConsistencyError):
+            i.add_fact("s", "a", "b", 4)
+
+    def test_fd_same_value_idempotent(self):
+        i = interp(s=[("a", "b", 3)])
+        assert not i.add_fact("s", "a", "b", 3)
+
+    def test_nonstrict_joins(self):
+        i = interp(s=[("a", "b", 3)])
+        i.add_fact("s", "a", "b", 2, strict=False)
+        assert i["s"][("a", "b")] == 2  # join under ≥ is numeric min
+
+
+class TestDefaults:
+    def test_default_read_without_storage(self):
+        i = interp()
+        assert i.relation("t").cost_of(("w",)) == 0
+
+    def test_bottom_values_not_stored(self):
+        i = interp()
+        assert not i.add_fact("t", "w", 0)
+        assert i["t"] == {}
+
+    def test_non_default_values_stored(self):
+        i = interp(t=[("w", 1)])
+        assert i["t"] == {("w",): 1}
+
+    def test_non_default_predicate_absent_reads_none(self):
+        i = interp()
+        assert i.relation("s").cost_of(("a", "b")) is None
+
+
+class TestOrder:
+    def test_reflexive(self):
+        i = interp(s=[("a", "b", 3)], edge=[("x", "y")])
+        assert i.leq(i)
+
+    def test_cost_order_uses_lattice(self):
+        low = interp(s=[("a", "b", 5)])
+        high = interp(s=[("a", "b", 3)])  # numerically smaller = ⊑-greater
+        assert low.leq(high)
+        assert not high.leq(low)
+
+    def test_missing_key_breaks_order(self):
+        some = interp(s=[("a", "b", 3)])
+        empty = interp()
+        assert empty.leq(some)
+        assert not some.leq(empty)
+
+    def test_default_keys_absorb(self):
+        # t(w)=0 is implicit, so {t(w):1} dominates the empty core.
+        low = interp()
+        high = interp(t=[("w", 1)])
+        assert low.leq(high)
+        assert not high.leq(low)
+
+    def test_ordinary_tuples_by_inclusion(self):
+        small = interp(edge=[("a", "b")])
+        large = interp(edge=[("a", "b"), ("b", "c")])
+        assert small.leq(large)
+        assert not large.leq(small)
+
+
+class TestJoinMeet:
+    def test_join_takes_lub_per_key(self):
+        a = interp(s=[("a", "b", 5), ("x", "y", 1)])
+        b = interp(s=[("a", "b", 3)])
+        joined = a.join(b)
+        assert joined["s"] == {("a", "b"): 3, ("x", "y"): 1}
+
+    def test_meet_intersects_non_default_keys(self):
+        a = interp(s=[("a", "b", 5), ("x", "y", 1)])
+        b = interp(s=[("a", "b", 3)])
+        met = a.meet(b)
+        assert met["s"] == {("a", "b"): 5}
+
+    def test_meet_default_drops_to_core(self):
+        a = interp(t=[("w", 1)])
+        b = interp()
+        met = a.meet(b)
+        assert met["t"] == {}  # meet(1, default 0) = 0 = not in core
+
+    def test_join_is_upper_bound(self):
+        a = interp(s=[("a", "b", 5)], edge=[("p", "q")])
+        b = interp(s=[("a", "b", 3), ("c", "d", 2)])
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+    def test_meet_is_lower_bound(self):
+        a = interp(s=[("a", "b", 5)], edge=[("p", "q")])
+        b = interp(s=[("a", "b", 3), ("c", "d", 2)])
+        met = a.meet(b)
+        assert met.leq(a) and met.leq(b)
+
+
+values = st.integers(0, 5)
+keys = st.sampled_from([("a", "b"), ("b", "c"), ("c", "a")])
+cost_maps = st.dictionaries(keys, values, max_size=3)
+
+
+def from_map(mapping):
+    out = Interpretation(DECLS)
+    for key, value in mapping.items():
+        out.add_fact("s", *key, value)
+    return out
+
+
+class TestLatticeLawsRandom:
+    """Theorem 3.1 on randomly generated interpretations."""
+
+    @settings(max_examples=50)
+    @given(cost_maps, cost_maps)
+    def test_join_least_upper_bound(self, m1, m2):
+        a, b = from_map(m1), from_map(m2)
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @settings(max_examples=50)
+    @given(cost_maps, cost_maps)
+    def test_meet_greatest_lower_bound(self, m1, m2):
+        a, b = from_map(m1), from_map(m2)
+        m = a.meet(b)
+        assert m.leq(a) and m.leq(b)
+
+    @settings(max_examples=50)
+    @given(cost_maps, cost_maps)
+    def test_absorption(self, m1, m2):
+        a, b = from_map(m1), from_map(m2)
+        assert a.join(a.meet(b)) == a
+        assert a.meet(a.join(b)) == a
+
+    @settings(max_examples=50)
+    @given(cost_maps, cost_maps)
+    def test_commutativity(self, m1, m2):
+        a, b = from_map(m1), from_map(m2)
+        assert a.join(b) == b.join(a)
+        assert a.meet(b) == b.meet(a)
+
+    @settings(max_examples=50)
+    @given(cost_maps, cost_maps)
+    def test_antisymmetry(self, m1, m2):
+        a, b = from_map(m1), from_map(m2)
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        a = interp(s=[("a", "b", 3)])
+        b = a.copy()
+        b.add_fact("s", "x", "y", 1)
+        assert ("x", "y") not in a["s"]
+
+    def test_fingerprint_changes_with_content(self):
+        a = interp(s=[("a", "b", 3)])
+        b = interp(s=[("a", "b", 4)])
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == interp(s=[("a", "b", 3)]).fingerprint()
+
+    def test_str_renders_rows(self):
+        text = str(interp(s=[("a", "b", 3)], edge=[("x", "y")]))
+        assert "s('a', 'b', 3)" in text
+        assert "edge('x', 'y')" in text
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(interp())

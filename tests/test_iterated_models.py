@@ -1,0 +1,137 @@
+"""Iterated minimal models across components (Section 6.3).
+
+Multi-stratum programs: ordinary Datalog below, negation on lower
+components, monotonic aggregation above — and Proposition 6.1's agreement
+with the well-founded model where both apply.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engine import Interpretation, solve
+from repro.datalog.parser import parse_program
+from repro.semantics import kemp_stuckey_wf
+
+
+class TestStackedComponents:
+    def test_aggregation_over_derived_relation(self):
+        """Transitive closure below, a count above."""
+        db = Database()
+        db.load(
+            """
+            @cost fanout/2 : naturals_le.
+            reach(X, Y) <- edge(X, Y).
+            reach(X, Y) <- reach(X, Z), edge(Z, Y).
+            fanout(X, N) <- node(X), N = count{reach(X, Y)}.
+            """
+        )
+        for e in [("a", "b"), ("b", "c"), ("c", "b")]:
+            db.add_fact("edge", *e)
+        for n in "abc":
+            db.add_fact("node", n)
+        result = db.solve()
+        assert result["fanout"][("a",)] == 2  # b, c
+        assert result["fanout"][("b",)] == 2  # c, b (cycle)
+        assert result["fanout"][("c",)] == 2
+
+    def test_negation_on_lower_component(self):
+        """Stratified negation below a monotonic min component."""
+        db = Database()
+        db.load(
+            """
+            @cost road/3 : reals_ge.
+            @cost open_road/3 : reals_ge.
+            @cost best/3 : reals_ge.
+            blocked(X) <- incident(X).
+            open_road(X, Y, C) <- road(X, Y, C), not blocked(X), not blocked(Y).
+            best(X, Y, C) <- C =r min{D : open_road(X, Y, D)}.
+            """
+        )
+        # road is a cost predicate used extensionally; two parallel roads.
+        db.add_fact("road", "a", "b", 5)
+        db.add_fact("road", "a", "c", 2)
+        db.add_fact("incident", "c")
+        result = db.solve()
+        assert result["best"] == {("a", "b"): 5}  # the c road is blocked
+
+    def test_three_strata_with_aggregation_between(self):
+        db = Database()
+        db.load(
+            """
+            @cost spend/3 : nonneg_reals_le.
+            @cost dept_total/2 : nonneg_reals_le.
+            @cost org_total/1 : nonneg_reals_le.
+            dept_total(D, T) <- T =r sum{A : spend(D, Item, A)}.
+            org_total(T) <- T =r sum{A : dept_total(D, A)}.
+            big_dept(D) <- dept_total(D, T), org_total(G), T > G / 2.
+            """
+        )
+        for row in [("eng", "laptops", 60), ("eng", "cloud", 30), ("hr", "misc", 10)]:
+            db.add_fact("spend", *row)
+        result = db.solve()
+        assert result["org_total"][()] == 100
+        assert result["big_dept"] == {("eng",)}
+
+    def test_component_results_reported_in_order(self):
+        db = Database()
+        db.load("a(X) <- e(X).\nb(X) <- a(X).\nc(X) <- b(X).")
+        db.add_fact("e", 1)
+        result = db.solve()
+        assert len(result.components) == 3
+        order = [sorted(c.cdb)[0] for c in result.components]
+        assert order == ["a", "b", "c"]
+
+
+class TestProposition61:
+    """Where the KS well-founded model is two-valued, it equals ours."""
+
+    def test_stratified_program_agreement(self):
+        source = """
+            @cost score/2 : nonneg_reals_le.
+            @cost team_total/2 : nonneg_reals_le.
+            team_total(T, S) <- team(T), S = sum{P : member(T, M), score(M, P)}.
+        """
+        program = parse_program(source)
+        edb = Interpretation(program.declarations)
+        for t in ("red", "blue"):
+            edb.add_fact("team", t)
+        for m, t in [("m1", "red"), ("m2", "red"), ("m3", "blue")]:
+            edb.add_fact("member", t, m)
+        for m, s in [("m1", 3), ("m2", 4), ("m3", 5)]:
+            edb.add_fact("score", m, s)
+        wf = kemp_stuckey_wf(program, edb)
+        ours = solve(program, edb).model
+        assert wf.total
+        assert wf.true["team_total"] == ours["team_total"]
+        assert ours["team_total"][("red",)] == 7
+
+    def test_acyclic_recursive_agreement(self):
+        from repro.programs import shortest_path
+        from repro.workloads import random_dag
+
+        arcs = random_dag(7, seed=61)
+        db = shortest_path.database({"arc": arcs})
+        wf = kemp_stuckey_wf(db.program, db.edb())
+        ours = db.solve().model
+        assert wf.total
+        for predicate in ("s", "path"):
+            assert wf.true[predicate] == ours[predicate]
+
+    def test_ours_extends_wf_on_cycles(self):
+        """On cyclic data: every WF-true atom is in our model with the
+        same value (the ⇒ direction of Proposition 6.1); our model
+        additionally decides the WF-undefined atoms."""
+        from repro.programs import shortest_path
+        from repro.workloads import cycle_graph
+
+        arcs = cycle_graph(3) + [(7, 8, 2.0)]
+        db = shortest_path.database({"arc": arcs})
+        wf = kemp_stuckey_wf(db.program, db.edb())
+        ours = db.solve().model
+        for name in ("s", "path"):
+            for key, value in wf.true[name].items():
+                assert ours[name][key] == value
+        assert len(wf.undefined) > 0
+        for predicate, key in wf.undefined:
+            rel = ours.relation(predicate)
+            assert key in rel.costs  # we decide it

@@ -1,0 +1,86 @@
+"""Hopcroft–Karp maximum bipartite matching."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.matching import has_saturating_matching, maximum_bipartite_matching
+
+
+class TestBasics:
+    def test_empty(self):
+        assert maximum_bipartite_matching(0, 0, []) == {}
+
+    def test_single_edge(self):
+        assert maximum_bipartite_matching(1, 1, [[0]]) == {0: 0}
+
+    def test_no_edges(self):
+        assert maximum_bipartite_matching(2, 2, [[], []]) == {}
+
+    def test_forced_assignment(self):
+        # left 1 can only take right 0, so left 0 must take right 1.
+        m = maximum_bipartite_matching(2, 2, [[0, 1], [0]])
+        assert m == {0: 1, 1: 0}
+
+    def test_augmenting_path_needed(self):
+        # Greedy left-to-right would match 0-0, starving vertex 2.
+        adjacency = [[0], [0, 1], [1]]
+        m = maximum_bipartite_matching(3, 2, adjacency)
+        assert len(m) == 2
+
+    def test_complete_bipartite(self):
+        n = 5
+        adjacency = [list(range(n)) for _ in range(n)]
+        m = maximum_bipartite_matching(n, n, adjacency)
+        assert len(m) == n
+        assert len(set(m.values())) == n
+
+    def test_adjacency_length_checked(self):
+        with pytest.raises(ValueError):
+            maximum_bipartite_matching(2, 2, [[0]])
+
+
+class TestSaturating:
+    def test_saturating_true(self):
+        assert has_saturating_matching(2, 3, [[0, 1], [2]])
+
+    def test_saturating_false_by_size(self):
+        assert not has_saturating_matching(3, 2, [[0], [1], [0, 1]])
+
+    def test_saturating_false_by_hall_violation(self):
+        # Two left vertices both only compatible with right vertex 0.
+        assert not has_saturating_matching(2, 2, [[0], [0]])
+
+
+def _brute_force_max_matching(n_left, n_right, adjacency):
+    """Exponential reference implementation for small instances."""
+    best = 0
+
+    def rec(u, used):
+        nonlocal best
+        if u == n_left:
+            best = max(best, len(used))
+            return
+        rec(u + 1, used)  # leave u unmatched
+        for v in adjacency[u]:
+            if v not in used:
+                rec(u + 1, used | {v})
+
+    rec(0, frozenset())
+    return best
+
+
+@given(st.integers(0, 5), st.integers(0, 5), st.integers(0, 1000))
+def test_matches_brute_force(n_left, n_right, seed):
+    rng = random.Random(seed)
+    adjacency = [
+        sorted({rng.randrange(n_right) for _ in range(rng.randint(0, n_right))})
+        if n_right
+        else []
+        for _ in range(n_left)
+    ]
+    fast = len(maximum_bipartite_matching(n_left, n_right, adjacency))
+    slow = _brute_force_max_matching(n_left, n_right, adjacency)
+    assert fast == slow

@@ -1,0 +1,172 @@
+"""The multiset order ⊑_D and the Figure 1 / §4.1.1 monotonicity claims.
+
+Every row of Figure 1 must verify as monotonic; the §4.1.1 functions
+(AND against ≤, max against ≥, min against ≤, average) must verify as
+pseudo-monotonic *and* demonstrably fail full monotonicity with a concrete
+counterexample.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (
+    Average,
+    Count,
+    GraphProperty,
+    HalfSum,
+    Intersection,
+    LogicalAnd,
+    LogicalAndAscending,
+    LogicalOr,
+    LogicalOrDescending,
+    Maximum,
+    MaximumDescending,
+    MaximumNonNegative,
+    Minimum,
+    MinimumAscending,
+    Monotonicity,
+    Product,
+    Sum,
+    Union,
+    multiset_leq,
+    verify_declared_class,
+    verify_monotonic,
+    verify_pseudo_monotonic,
+)
+from repro.lattices import BOOL_LE, REALS_GE, REALS_LE, FlatLattice, PowersetUnion
+from repro.util.multiset import FrozenMultiset
+
+
+def ms(*items):
+    return FrozenMultiset(items)
+
+
+class TestMultisetOrderChains:
+    def test_empty_below_everything(self):
+        assert multiset_leq(REALS_LE, ms(), ms(1, 2))
+
+    def test_larger_cannot_embed_into_smaller(self):
+        assert not multiset_leq(REALS_LE, ms(1, 1), ms(1))
+
+    def test_pointwise_domination(self):
+        assert multiset_leq(REALS_LE, ms(1, 2), ms(2, 3))
+        assert not multiset_leq(REALS_LE, ms(1, 1), ms(5))
+        assert not multiset_leq(REALS_LE, ms(3, 3), ms(3, 2))
+
+    def test_descending_order_flips(self):
+        # Under (R, ≥), 5 ⊑ 3.
+        assert multiset_leq(REALS_GE, ms(5), ms(3))
+        assert not multiset_leq(REALS_GE, ms(3), ms(5))
+
+    def test_equal_multisets(self):
+        assert multiset_leq(REALS_LE, ms(1, 2, 2), ms(1, 2, 2))
+
+    def test_injectivity_matters(self):
+        # Both 1s need distinct targets ≥ 1.
+        assert multiset_leq(REALS_LE, ms(1, 1), ms(1, 2))
+        assert not multiset_leq(REALS_LE, ms(2, 2), ms(1, 2))
+
+
+class TestMultisetOrderPartial:
+    def test_powerset_elements(self):
+        lat = PowersetUnion("abc")
+        a = ms(frozenset("a"), frozenset("b"))
+        b = ms(frozenset("ab"), frozenset("bc"))
+        assert multiset_leq(lat, a, b)
+
+    def test_incomparable_elements_need_matching(self):
+        flat = FlatLattice(["x", "y"])
+        # {x, y} embeds into {x, y} but not into {x, x}.
+        assert multiset_leq(flat, ms("x", "y"), ms("x", "y"))
+        assert not multiset_leq(flat, ms("x", "y"), ms("x", "x"))
+
+    def test_bottom_matches_anything(self):
+        flat = FlatLattice(["x", "y"])
+        assert multiset_leq(flat, ms(flat.bottom, flat.bottom), ms("x", "y"))
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.integers(0, 6), max_size=4),
+    st.lists(st.integers(0, 3), max_size=4),
+)
+def test_bumping_and_extending_preserves_order(base, bumps):
+    """I ⊑ I' whenever I' bumps elements upward and adds extras."""
+    bumped = list(base)
+    for i, extra in enumerate(bumps[: len(bumped)]):
+        bumped[i] += extra
+    bumped += [10] * (len(bumps) - len(bumped) if len(bumps) > len(bumped) else 0)
+    assert multiset_leq(REALS_LE, ms(*base), ms(*bumped))
+
+
+FIGURE_1_MONOTONIC = [
+    Maximum(),
+    MaximumNonNegative(),
+    Minimum(),
+    Sum(),
+    LogicalAnd(),
+    LogicalOr(),
+    Product(),
+    Count(),
+    Union("abc"),
+    Intersection("abc"),
+    GraphProperty(lambda e: len(e) >= 2, edge_universe=["e1", "e2", "e3"]),
+    HalfSum(),
+]
+
+
+@pytest.mark.parametrize("function", FIGURE_1_MONOTONIC, ids=lambda f: f.name)
+def test_figure1_rows_verify_monotonic(function):
+    assert function.classification is Monotonicity.MONOTONIC
+    verdict = verify_monotonic(function)
+    assert verdict.holds, str(verdict)
+
+
+PSEUDO_ONLY = [
+    LogicalAndAscending(),
+    LogicalOrDescending(),
+    MaximumDescending(),
+    MinimumAscending(),
+    Average(),
+]
+
+
+@pytest.mark.parametrize("function", PSEUDO_ONLY, ids=lambda f: f.name)
+def test_section_4_1_1_pseudo_monotonic(function):
+    assert function.classification is Monotonicity.PSEUDO_MONOTONIC
+    verdict = verify_pseudo_monotonic(function)
+    assert verdict.holds, str(verdict)
+
+
+@pytest.mark.parametrize("function", PSEUDO_ONLY, ids=lambda f: f.name)
+def test_pseudo_only_functions_fail_full_monotonicity(function):
+    verdict = verify_monotonic(function)
+    assert not verdict.holds
+    assert verdict.counterexample is not None
+
+
+def test_and_le_paper_counterexample():
+    """AND({1}) ⋢ AND({0,1}) under ≤ — the paper's own example (§4.1.1)."""
+    f = LogicalAndAscending()
+    assert f(ms(1)) == 1
+    assert f(ms(0, 1)) == 0
+    assert multiset_leq(BOOL_LE, ms(1), ms(0, 1))
+    assert not BOOL_LE.leq(f(ms(1)), f(ms(0, 1)))
+
+
+@pytest.mark.parametrize(
+    "function", FIGURE_1_MONOTONIC + PSEUDO_ONLY, ids=lambda f: f.name
+)
+def test_declared_classes_are_sound(function):
+    for verdict in verify_declared_class(function):
+        assert verdict.holds, str(verdict)
+
+
+def test_sum_with_negative_values_would_not_be_monotonic():
+    """Figure 1 restricts sum to R*: with negatives, adding an element can
+    shrink the total — shown here directly."""
+    total_before = sum(ms(2))
+    total_after = sum(ms(2, -1))
+    assert multiset_leq(REALS_LE, ms(2), ms(2, -1))
+    assert total_after < total_before

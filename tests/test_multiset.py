@@ -1,0 +1,129 @@
+"""FrozenMultiset: construction, algebra, hashing, invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.multiset import FrozenMultiset
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = FrozenMultiset()
+        assert len(m) == 0
+        assert not m
+        assert list(m) == []
+
+    def test_from_iterable_counts_duplicates(self):
+        m = FrozenMultiset([1, 2, 2, 3])
+        assert len(m) == 4
+        assert m.count(2) == 2
+        assert m.count(1) == 1
+        assert m.count(99) == 0
+
+    def test_from_counts(self):
+        m = FrozenMultiset.from_counts({"a": 2, "b": 1})
+        assert sorted(m) == ["a", "a", "b"]
+
+    def test_from_counts_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FrozenMultiset.from_counts({"a": 0})
+        with pytest.raises(ValueError):
+            FrozenMultiset.from_counts({"a": -1})
+
+    def test_iteration_repeats_elements(self):
+        m = FrozenMultiset(["x", "x", "y"])
+        assert sorted(m) == ["x", "x", "y"]
+
+    def test_support_is_distinct(self):
+        m = FrozenMultiset([1, 1, 1, 2])
+        assert sorted(m.support()) == [1, 2]
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        assert FrozenMultiset([1, 2, 2]) == FrozenMultiset([2, 1, 2])
+
+    def test_multiplicity_sensitive(self):
+        assert FrozenMultiset([1, 2]) != FrozenMultiset([1, 2, 2])
+
+    def test_hash_consistent(self):
+        a = FrozenMultiset([1, 2, 2])
+        b = FrozenMultiset([2, 2, 1])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert FrozenMultiset([1]) != [1]
+
+    def test_usable_as_dict_key(self):
+        d = {FrozenMultiset([1, 1]): "two ones"}
+        assert d[FrozenMultiset([1, 1])] == "two ones"
+
+
+class TestAlgebra:
+    def test_add(self):
+        m = FrozenMultiset([1]).add(1).add(2, 3)
+        assert m.count(1) == 2
+        assert m.count(2) == 3
+
+    def test_add_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FrozenMultiset().add("x", 0)
+
+    def test_add_is_persistent(self):
+        m = FrozenMultiset([1])
+        m.add(2)
+        assert m.count(2) == 0  # original unchanged
+
+    def test_union_adds_multiplicities(self):
+        a = FrozenMultiset([1, 2])
+        b = FrozenMultiset([2, 3])
+        u = a.union(b)
+        assert u.count(2) == 2
+        assert len(u) == 4
+
+    def test_union_with_empty(self):
+        a = FrozenMultiset([1])
+        assert a.union(FrozenMultiset()) == a
+        assert FrozenMultiset().union(a) == a
+
+    def test_issubmultiset(self):
+        assert FrozenMultiset([1, 2]).issubmultiset(FrozenMultiset([1, 2, 2]))
+        assert not FrozenMultiset([1, 1]).issubmultiset(FrozenMultiset([1, 2]))
+        assert FrozenMultiset().issubmultiset(FrozenMultiset())
+
+    def test_contains(self):
+        m = FrozenMultiset(["a"])
+        assert "a" in m
+        assert "b" not in m
+
+
+small_multisets = st.lists(st.integers(0, 5), max_size=6).map(FrozenMultiset)
+
+
+class TestProperties:
+    @given(small_multisets, small_multisets)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(small_multisets, small_multisets, small_multisets)
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(small_multisets)
+    def test_union_length_additive(self, a):
+        assert len(a.union(a)) == 2 * len(a)
+
+    @given(small_multisets, small_multisets)
+    def test_submultiset_of_union(self, a, b):
+        assert a.issubmultiset(a.union(b))
+
+    @given(small_multisets)
+    def test_roundtrip_through_list(self, a):
+        assert FrozenMultiset(list(a)) == a
+
+    @given(small_multisets, small_multisets)
+    def test_submultiset_antisymmetry(self, a, b):
+        if a.issubmultiset(b) and b.issubmultiset(a):
+            assert a == b

@@ -1,0 +1,224 @@
+"""End-to-end reproduction of every worked example in the paper."""
+
+import pytest
+
+from repro.core.api import solve_program
+from repro.engine import Interpretation, is_model, solve
+from repro.lattices import INF
+from repro.programs import (
+    circuit,
+    company_control,
+    halfsum_limit,
+    party_invitations,
+    shortest_path,
+    student_averages,
+)
+
+
+class TestExample21StudentAverages:
+    """Example 2.1: averages and counts over the record relation."""
+
+    RECORDS = [
+        ("john", "math", 60),
+        ("john", "cs", 80),
+        ("mary", "math", 90),
+        ("mary", "cs", 70),
+        ("paul", "cs", 80),
+    ]
+
+    def solved(self, courses=("math", "cs", "art")):
+        db = student_averages.database(
+            {"record": self.RECORDS, "courses": [(c,) for c in courses]}
+        )
+        return db.solve()
+
+    def test_student_averages(self):
+        result = self.solved()
+        assert result["s_avg"][("john",)] == 70
+        assert result["s_avg"][("mary",)] == 80
+        assert result["s_avg"][("paul",)] == 80
+
+    def test_class_averages(self):
+        result = self.solved()
+        assert result["c_avg"][("math",)] == 75
+        assert result["c_avg"][("cs",)] == pytest.approx(230 / 3)
+
+    def test_all_average_weights_classes_equally(self):
+        """all_avg averages the class averages, NOT the raw records —
+        the paper's remark about weighting."""
+        result = self.solved()
+        expected = (75 + 230 / 3) / 2
+        assert result["all_avg"][()] == pytest.approx(expected)
+        raw_average = sum(g for (_, _, g) in self.RECORDS) / len(self.RECORDS)
+        assert result["all_avg"][()] != pytest.approx(raw_average)
+
+    def test_class_count_restricted_skips_empty(self):
+        """class_count uses =r: no row for the empty 'art' class."""
+        result = self.solved()
+        assert result["class_count"] == {("math",): 2, ("cs",): 3}
+
+    def test_alt_class_count_includes_empty(self):
+        """alt_class_count uses '=' guarded by courses: art gets 0."""
+        result = self.solved()
+        assert result["alt_class_count"][("art",)] == 0
+        assert result["alt_class_count"][("math",)] == 2
+
+
+class TestExample26ShortestPath:
+    def test_example_3_1_unique_minimal_model(self):
+        result = shortest_path.database(
+            {"arc": [("a", "b", 1), ("b", "b", 0)]}
+        ).solve()
+        # M1 of Example 3.1 (plus the path(b,b,b,0) instance its rules
+        # also entail): crucially s(a,b) = 1, not M2's 0.
+        assert result["s"] == {("a", "b"): 1, ("b", "b"): 0}
+        assert result["path"][("a", "direct", "b")] == 1
+        assert result["path"][("a", "b", "b")] == 1
+
+    def test_cycles_handled(self):
+        result = shortest_path.database(
+            {"arc": [("a", "b", 2), ("b", "a", 3), ("b", "c", 1)]}
+        ).solve()
+        assert result["s"][("a", "c")] == 3
+        assert result["s"][("a", "a")] == 5  # around the cycle
+        assert result["s"][("b", "b")] == 5
+
+    def test_negative_weights_on_dag(self):
+        """Monotonic in our sense even with negative weights (§5.4's
+        contrast with cost-monotonicity)."""
+        result = shortest_path.database(
+            {"arc": [("a", "b", -1), ("b", "c", -2), ("a", "c", 5)]}
+        ).solve()
+        assert result["s"][("a", "c")] == -3
+
+    def test_disconnected_pairs_absent(self):
+        result = shortest_path.database({"arc": [("a", "b", 1)]}).solve()
+        assert ("b", "a") not in result["s"]
+
+    def test_model_property(self):
+        db = shortest_path.database({"arc": [("a", "b", 1), ("b", "b", 0)]})
+        result = db.solve()
+        assert is_model(db.program, result.model)
+
+
+class TestExample27CompanyControl:
+    def test_transitive_control(self):
+        result = company_control.database(
+            {"s": [("a", "b", 0.6), ("b", "c", 0.3), ("a", "c", 0.3)]}
+        ).solve()
+        # a controls b directly; a + b's shares of c = 0.6 > 0.5.
+        assert ("a", "b") in result["c"]
+        assert ("a", "c") in result["c"]
+
+    def test_van_gelder_edb_c_a_b_false(self, van_gelder_edb):
+        """§5.6: on this EDB c(a,b) and c(a,c) are FALSE for us (Van
+        Gelder's translation would leave them undefined)."""
+        result = company_control.database(van_gelder_edb).solve()
+        assert ("a", "b") not in result["c"]
+        assert ("a", "c") not in result["c"]
+
+    def test_m_relation_exposes_fractions(self):
+        result = company_control.database(
+            {"s": [("a", "b", 0.6), ("b", "c", 0.3), ("a", "c", 0.3)]}
+        ).solve()
+        assert result["m"][("a", "c")] == pytest.approx(0.6)
+
+    def test_exactly_half_does_not_control(self):
+        result = company_control.database(
+            {"s": [("a", "b", 0.5)]}
+        ).solve()
+        assert result["c"] == frozenset()
+
+
+class TestExample43Party:
+    def test_zero_requirement_seeds_cascade(self):
+        facts = {
+            "requires": [("ann", 0), ("bob", 1)],
+            "knows": [("bob", "ann")],
+        }
+        result = party_invitations.database(facts).solve()
+        assert result["coming"] == {("ann",), ("bob",)}
+
+    def test_mutual_requirement_cycle_stays_out(self):
+        """Two guests each requiring the other: the minimal model keeps
+        both out (no collective decisions, as the example stipulates)."""
+        facts = {
+            "requires": [("x", 1), ("y", 1)],
+            "knows": [("x", "y"), ("y", "x")],
+        }
+        result = party_invitations.database(facts).solve()
+        assert result["coming"] == frozenset()
+
+    def test_cycle_with_external_seed_comes(self):
+        facts = {
+            "requires": [("seed", 0), ("x", 1), ("y", 1)],
+            "knows": [("x", "seed"), ("y", "x"), ("x", "y")],
+        }
+        result = party_invitations.database(facts).solve()
+        assert result["coming"] == {("seed",), ("x",), ("y",)}
+
+    def test_equals_form_needed_for_zero_requirements(self):
+        """The example uses '=' so that guests requiring nobody are kept
+        even when they know nobody coming."""
+        facts = {"requires": [("hermit", 0)], "knows": []}
+        result = party_invitations.database(facts).solve()
+        assert ("hermit",) in result["coming"]
+
+
+class TestExample44Circuit:
+    def base_facts(self):
+        return {
+            "input": [("w1", 1), ("w2", 0)],
+            "gate": [("g_or", "or"), ("g_and", "and")],
+            "connect": [
+                ("g_or", "w1"),
+                ("g_or", "w2"),
+                ("g_and", "w1"),
+                ("g_and", "w2"),
+            ],
+        }
+
+    def test_acyclic_evaluation(self):
+        result = circuit.database(self.base_facts()).solve()
+        t = {k[0]: v for k, v in result["t"].items()}
+        assert t.get("g_or", 0) == 1
+        assert t.get("g_and", 0) == 0
+
+    def test_self_feeding_and_gate_is_false(self):
+        """The paper's canonical minimal-behaviour case: an AND gate whose
+        output is its sole input evaluates to false."""
+        facts = {
+            "input": [],
+            "gate": [("loop", "and")],
+            "connect": [("loop", "loop")],
+        }
+        result = circuit.database(facts).solve()
+        assert result["t"] == {}  # everything at the default 0
+
+    def test_self_feeding_or_gate_is_false(self):
+        facts = {
+            "input": [],
+            "gate": [("loop", "or")],
+            "connect": [("loop", "loop")],
+        }
+        result = circuit.database(facts).solve()
+        assert result["t"] == {}
+
+    def test_or_feedback_loop_latches_high(self):
+        facts = {
+            "input": [("w", 1)],
+            "gate": [("a", "or"), ("b", "or")],
+            "connect": [("a", "w"), ("a", "b"), ("b", "a")],
+        }
+        result = circuit.database(facts).solve()
+        t = {k[0]: v for k, v in result["t"].items()}
+        assert t["a"] == 1 and t["b"] == 1
+
+
+class TestExample51Halfsum:
+    def test_converges_to_float_limit(self):
+        """The least model is {p(a,1), p(b,1)}; in float arithmetic the
+        Kleene chain closes at 1.0 after ~machine-precision many steps."""
+        result = halfsum_limit.database().solve(max_iterations=200)
+        assert result["p"][("b",)] == 1
+        assert result["p"][("a",)] == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Program assembly: declarations, inference, validation, views."""
+
+import pytest
+
+from repro.datalog.errors import ProgramError
+from repro.datalog.parser import parse_program
+from repro.datalog.program import PredicateDecl, Program
+from repro.datalog.rules import Rule
+from repro.datalog.atoms import make_atom
+from repro.lattices import BOOL_LE, REALS_GE
+
+
+class TestPredicateDecl:
+    def test_ordinary(self):
+        decl = PredicateDecl("edge", 2)
+        assert not decl.is_cost_predicate
+        assert decl.key_arity == 2
+
+    def test_cost(self):
+        decl = PredicateDecl("arc", 3, REALS_GE)
+        assert decl.is_cost_predicate
+        assert decl.key_arity == 2
+
+    def test_default_value_is_bottom(self):
+        decl = PredicateDecl("t", 2, BOOL_LE, has_default=True)
+        assert decl.default_value == 0
+
+    def test_default_requires_lattice(self):
+        with pytest.raises(ProgramError):
+            PredicateDecl("t", 2, None, has_default=True)
+
+    def test_default_value_on_non_default_raises(self):
+        with pytest.raises(ProgramError):
+            PredicateDecl("arc", 3, REALS_GE).default_value
+
+    def test_cost_needs_positive_arity(self):
+        with pytest.raises(ProgramError):
+            PredicateDecl("weird", 0, REALS_GE)
+
+    def test_negative_arity(self):
+        with pytest.raises(ProgramError):
+            PredicateDecl("p", -1)
+
+
+class TestProgram:
+    def test_declaration_inference(self):
+        program = parse_program("p(X) <- q(X, Y).")
+        assert program.decl("q").arity == 2
+        assert not program.decl("q").is_cost_predicate
+
+    def test_arity_clash_detected(self):
+        with pytest.raises(ProgramError):
+            parse_program("p(X) <- q(X).\nr(X) <- q(X, Y).")
+
+    def test_duplicate_declaration_rejected(self):
+        rules = [Rule(make_atom("p", 1))]
+        decls = [PredicateDecl("p", 1), PredicateDecl("p", 1)]
+        with pytest.raises(ProgramError):
+            Program(rules, declarations=decls)
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ProgramError):
+            parse_program("p(X, C) <- C =r frobnicate{D : q(X, D)}.")
+
+    def test_idb_edb_views(self):
+        program = parse_program("p(X) <- q(X).\nq(X) <- r(X).")
+        assert program.idb_predicates == {"p", "q"}
+        assert program.edb_predicates == {"r"}
+
+    def test_rules_for(self):
+        program = parse_program("p(X) <- q(X).\np(X) <- r(X).\ns(X) <- p(X).")
+        assert len(program.rules_for("p")) == 2
+        assert len(program.rules_for("s")) == 1
+
+    def test_unknown_predicate(self):
+        program = parse_program("p(X) <- q(X).")
+        with pytest.raises(ProgramError):
+            program.decl("nonexistent")
+
+    def test_cost_lattice_accessor(self):
+        program = parse_program("@cost arc/3 : reals_ge.\np(X) <- arc(X, Y, C).")
+        assert program.cost_lattice("arc") == REALS_GE
+        with pytest.raises(ProgramError):
+            program.cost_lattice("p")
+
+    def test_aggregates_in_constraints_checked(self):
+        program = parse_program(
+            "@constraint arc(direct, Z, C).\np(X) <- arc(X, Y, C)."
+        )
+        assert program.decl("arc").arity == 3

@@ -1,0 +1,129 @@
+"""Internals of the comparison-semantics modules: possible/clean keys,
+three-valued models, reducts."""
+
+import pytest
+
+from repro.engine import Interpretation, solve
+from repro.programs import shortest_path
+from repro.semantics import (
+    ThreeValuedModel,
+    clean_keys,
+    possible_keys,
+    reduct_least_model,
+)
+from repro.workloads import cycle_graph, random_dag
+
+
+def sp_setup(arcs):
+    db = shortest_path.database({"arc": arcs})
+    return db.program, db.edb()
+
+
+class TestPossibleKeys:
+    def test_includes_edb_and_derivable_keys(self):
+        program, edb = sp_setup([("a", "b", 1), ("b", "c", 2)])
+        possible = possible_keys(program, edb)
+        assert possible.has("arc", ("a", "b"))
+        assert possible.has("path", ("a", "direct", "b"))
+        assert possible.has("s", ("a", "c"))
+
+    def test_overapproximates_but_stays_in_active_domain(self):
+        program, edb = sp_setup([("a", "b", 1)])
+        possible = possible_keys(program, edb)
+        for key in possible.keys.get("s", ()):
+            assert set(key) <= {"a", "b", "direct"}
+
+    def test_unreachable_keys_absent(self):
+        program, edb = sp_setup([("a", "b", 1), ("x", "y", 1)])
+        possible = possible_keys(program, edb)
+        assert not possible.has("s", ("a", "y"))
+
+
+class TestCleanKeys:
+    def test_acyclic_everything_clean(self):
+        program, edb = sp_setup(random_dag(6, seed=1))
+        possible = possible_keys(program, edb)
+        clean = clean_keys(program, edb, possible)
+        for name, bucket in possible.keys.items():
+            for key in bucket:
+                assert (name, key) in clean
+
+    def test_cycle_keys_dirty(self):
+        program, edb = sp_setup(cycle_graph(3))
+        possible = possible_keys(program, edb)
+        clean = clean_keys(program, edb, possible)
+        assert ("s", (0, 1)) not in clean
+        # EDB keys are always clean.
+        assert ("arc", (0, 1)) in clean
+
+
+class TestThreeValuedModel:
+    def make(self):
+        program, edb = sp_setup([("a", "b", 1)])
+        model = solve(program, edb).model
+        return ThreeValuedModel(
+            true=model, undefined={("s", ("x", "y"))}
+        )
+
+    def test_truth_of_true(self):
+        tv = self.make()
+        assert tv.truth_of("s", ("a", "b")) == "true"
+
+    def test_truth_of_false(self):
+        tv = self.make()
+        assert tv.truth_of("s", ("b", "a")) == "false"
+
+    def test_truth_of_undefined(self):
+        tv = self.make()
+        assert tv.truth_of("s", ("x", "y")) == "undefined"
+
+    def test_total_flag(self):
+        tv = self.make()
+        assert not tv.total
+        tv.undefined.clear()
+        assert tv.total
+
+    def test_str_lists_undefined(self):
+        tv = self.make()
+        assert "undefined: s" in str(tv)
+
+
+class TestReduct:
+    def test_reduct_of_true_fixpoint_reproduces_it(self):
+        program, edb = sp_setup([("a", "b", 1), ("b", "c", 2)])
+        model = solve(program, edb).model
+        # Strip the EDB relations: the candidate covers IDB only.
+        candidate = Interpretation(program.declarations)
+        for name in ("s", "path"):
+            candidate.relation(name).costs.update(model[name])
+        least = reduct_least_model(program, edb, candidate)
+        assert least == candidate
+
+    def test_reduct_of_garbage_diverges_from_candidate(self):
+        program, edb = sp_setup([("a", "b", 1)])
+        candidate = Interpretation(program.declarations)
+        candidate.relation("s").costs[("a", "b")] = 42
+        least = reduct_least_model(program, edb, candidate)
+        assert least is not None
+        assert least != candidate
+
+    def test_reduct_detects_fd_conflicts(self):
+        """A candidate that makes two rules derive clashing costs yields
+        no least interpretation (None)."""
+        from repro.datalog.parser import parse_program
+
+        program = parse_program(
+            """
+            @cost p/2 : nonneg_reals_le.
+            @cost q/2 : nonneg_reals_le.
+            @cost r/2 : nonneg_reals_le.
+            p(X, C) <- q(X, C).
+            p(X, C) <- r(X, C).
+            """
+        )
+        edb = Interpretation(program.declarations)
+        edb.add_fact("q", "a", 1)
+        edb.add_fact("r", "a", 2)
+        candidate = Interpretation(program.declarations)
+        candidate.relation("p").costs[("a",)] = 1
+        assert reduct_least_model(program, edb, candidate) is None

@@ -1,0 +1,87 @@
+"""Terms, arithmetic expressions, evaluation."""
+
+import pytest
+
+from repro.datalog.terms import (
+    ArithExpr,
+    Constant,
+    UnboundVariableError,
+    Variable,
+    evaluate_expr,
+    expr_variable_set,
+    is_ground,
+)
+
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+class TestTerms:
+    def test_variable_equality(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_constant_wraps_values(self):
+        assert Constant(3).value == 3
+        assert Constant("a") == Constant("a")
+        assert Constant(3) != Constant(3.5)
+
+    def test_constant_str_bare_symbols(self):
+        assert str(Constant("direct")) == "direct"
+
+    def test_constant_str_quotes_non_symbols(self):
+        assert str(Constant("Hello World")) == '"Hello World"'
+        assert str(Constant("")) == '""'
+        assert str(Constant("not")) == '"not"'  # keyword collision
+
+    def test_constant_str_escapes(self):
+        assert str(Constant('say "hi"')) == '"say \\"hi\\""'
+
+    def test_numbers_render_plainly(self):
+        assert str(Constant(3)) == "3"
+        assert str(Constant(2.5)) == "2.5"
+
+
+class TestArithExpr:
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            ArithExpr("**", X, Y)
+
+    def test_str(self):
+        expr = ArithExpr("+", X, ArithExpr("*", Constant(2), Y))
+        assert str(expr) == "(X + (2 * Y))"
+
+    def test_variable_collection(self):
+        expr = ArithExpr("+", X, ArithExpr("-", Y, X))
+        assert expr_variable_set(expr) == {X, Y}
+
+    def test_is_ground(self):
+        assert is_ground(ArithExpr("+", Constant(1), Constant(2)))
+        assert not is_ground(ArithExpr("+", Constant(1), X))
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert evaluate_expr(Constant(4), {}) == 4
+
+    def test_variable_lookup(self):
+        assert evaluate_expr(X, {X: 7}) == 7
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(UnboundVariableError):
+            evaluate_expr(X, {})
+
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 7), ("-", 3), ("*", 10), ("/", 2.5)]
+    )
+    def test_operators(self, op, expected):
+        assert evaluate_expr(ArithExpr(op, Constant(5), Constant(2)), {}) == expected
+
+    def test_nested(self):
+        expr = ArithExpr("*", ArithExpr("+", X, Constant(1)), Y)
+        assert evaluate_expr(expr, {X: 2, Y: 3}) == 9
+
+    def test_division_by_zero_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            evaluate_expr(ArithExpr("/", Constant(1), Constant(0)), {})

@@ -1,0 +1,94 @@
+"""Provenance: justifications and derivation trees."""
+
+import pytest
+
+from repro.engine.trace import explain, justifications
+from repro.programs import circuit, company_control, shortest_path
+
+
+class TestJustifications:
+    def test_every_derived_atom_is_justified(self):
+        db = shortest_path.database(
+            {"arc": [("a", "b", 1), ("b", "c", 2), ("a", "c", 9)]}
+        )
+        result = db.solve()
+        table = justifications(db.program, result.model)
+        for name in ("s", "path"):
+            for key, value in result[name].items():
+                assert (name, key + (value,)) in table
+
+    def test_justification_cites_a_real_rule(self):
+        db = shortest_path.database({"arc": [("a", "b", 1)]})
+        result = db.solve()
+        table = justifications(db.program, result.model)
+        justification = table[("s", ("a", "b", 1))]
+        assert justification.rule in db.program.rules
+
+
+class TestExplain:
+    def setup_result(self):
+        db = shortest_path.database(
+            {"arc": [("a", "b", 1), ("b", "c", 2), ("a", "c", 9)]}
+        )
+        return db, db.solve()
+
+    def test_tree_reaches_edb_facts(self):
+        db, result = self.setup_result()
+        tree = explain(db.program, result.model, "s", ("a", "c"))
+        assert "s('a', 'c', 3)" in tree
+        assert "[EDB fact]" in tree
+        assert "arc('a', 'b', 1)" in tree  # the witness path via b
+
+    def test_min_witness_is_the_cheap_path(self):
+        db, result = self.setup_result()
+        tree = explain(db.program, result.model, "s", ("a", "c"))
+        # The witness for min must be the cost-3 path, not the cost-9 arc.
+        assert "path('a', 'b', 'c', 3)" in tree
+
+    def test_absent_atom(self):
+        db, result = self.setup_result()
+        assert "not in the model" in explain(
+            db.program, result.model, "s", ("c", "a")
+        )
+
+    def test_cyclic_justification_cut(self):
+        db = shortest_path.database({"arc": [("a", "b", 2), ("b", "a", 3)]})
+        result = db.solve()
+        tree = explain(db.program, result.model, "s", ("a", "a"))
+        assert "s('a', 'a', 5)" in tree
+        # A finite tree is produced even though justifications are cyclic.
+        assert len(tree.splitlines()) < 60
+
+    def test_max_depth_respected(self):
+        arcs = [(i, i + 1, 1.0) for i in range(20)]
+        db = shortest_path.database({"arc": arcs})
+        result = db.solve(method="seminaive")
+        tree = explain(
+            db.program, result.model, "s", (0, 20), max_depth=3
+        )
+        assert "max depth" in tree
+
+    def test_solve_result_convenience(self):
+        db, result = self.setup_result()
+        assert result.explain("s", ("a", "b")).startswith("s('a', 'b', 1)")
+
+    def test_ordinary_predicate_explanation(self):
+        db = company_control.database(
+            {"s": [("a", "b", 0.6), ("b", "c", 0.3), ("a", "c", 0.3)]}
+        )
+        result = db.solve()
+        tree = explain(db.program, result.model, "c", ("a", "c"))
+        assert "c('a', 'c')" in tree
+        assert "m('a', 'c'" in tree  # via the fraction relation
+
+    def test_default_value_atoms_render(self):
+        facts = {
+            "input": [("w", 1)],
+            "gate": [("g", "or")],
+            "connect": [("g", "w")],
+        }
+        db = circuit.database(facts)
+        result = db.solve()
+        tree = explain(db.program, result.model, "t", ("g",))
+        assert "t('g', 1)" in tree
+        assert "t('w', 1)" in tree  # the witness wire

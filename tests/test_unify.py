@@ -1,0 +1,151 @@
+"""Unification, containment mappings (Definition 2.8, Example 2.5),
+constraint-instance matching (Definition 2.10)."""
+
+from repro.datalog.parser import parse_atom_text, parse_program, parse_rule
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import (
+    apply_to_rule,
+    containment_mapping,
+    find_constraint_instance,
+    flatten,
+    unify_atoms,
+    unify_terms,
+)
+
+
+class TestUnifyAtoms:
+    def test_simple(self):
+        theta = unify_atoms(parse_atom_text("p(X, a)"), parse_atom_text("p(b, Y)"))
+        theta = flatten(theta)
+        assert theta[Variable("X")] == Constant("b")
+        assert theta[Variable("Y")] == Constant("a")
+
+    def test_constant_clash(self):
+        assert unify_atoms(parse_atom_text("p(a)"), parse_atom_text("p(b)")) is None
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(parse_atom_text("p(X)"), parse_atom_text("q(X)")) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(parse_atom_text("p(X)"), parse_atom_text("p(X, Y)")) is None
+
+    def test_variable_chains(self):
+        theta = unify_terms(
+            [(Variable("X"), Variable("Y")), (Variable("Y"), Constant(3))]
+        )
+        assert flatten(theta)[Variable("X")] == Constant(3)
+
+    def test_shared_variable(self):
+        theta = unify_atoms(parse_atom_text("p(X, X)"), parse_atom_text("p(a, Y)"))
+        theta = flatten(theta)
+        assert theta[Variable("Y")] == Constant("a")
+
+    def test_shared_variable_clash(self):
+        assert (
+            unify_atoms(parse_atom_text("p(X, X)"), parse_atom_text("p(a, b)"))
+            is None
+        )
+
+
+class TestContainmentMapping:
+    def test_identity(self):
+        rule = parse_rule("p(X) <- q(X, Y).")
+        assert containment_mapping(rule, rule) is not None
+
+    def test_example_2_5_company_control(self):
+        """After unifying the non-cost head args, a containment mapping
+        maps the first cv-rule into the second (M → N)."""
+        r1 = parse_rule("cv(X, Z, Y, M) <- s(X, Y, M).")
+        r2 = parse_rule("cv(X, Z, Y, N) <- c(X, Z), s(Z, Y, N).")
+        # Unified on non-cost args with X=Z (heads cv(X,X,Y,·) vs cv(X,Z,Y,·)):
+        r1u = parse_rule("cv(X, X, Y, M) <- s(X, Y, M).")
+        r2u = parse_rule("cv(X, X, Y, N) <- c(X, X), s(X, Y, N).")
+        mapping = containment_mapping(r1u, r2u)
+        assert mapping is not None
+        assert mapping[Variable("M")] == Variable("N")
+
+    def test_no_mapping_when_subgoal_missing(self):
+        r1 = parse_rule("p(X) <- q(X), r(X).")
+        r2 = parse_rule("p(X) <- q(X).")
+        assert containment_mapping(r1, r2) is None
+        assert containment_mapping(r2, r1) is not None
+
+    def test_constants_must_match_exactly(self):
+        r1 = parse_rule("p(X) <- q(X, a).")
+        r2 = parse_rule("p(X) <- q(X, b).")
+        assert containment_mapping(r1, r2) is None
+
+    def test_aggregate_subgoals_match_structurally(self):
+        r1 = parse_rule("s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.")
+        r2 = parse_rule("s(X, Y, C) <- C =r min{E : path(X, W, Y, E)}.")
+        assert containment_mapping(r1, r2) is not None
+
+    def test_aggregate_function_must_match(self):
+        r1 = parse_rule("s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.")
+        r2 = parse_rule("s(X, Y, C) <- C =r max{D : path(X, Z, Y, D)}.")
+        assert containment_mapping(r1, r2) is None
+
+    def test_restricted_flag_must_match(self):
+        r1 = parse_rule("s(X, C) <- C =r sum{D : p(X, D)}.")
+        r2 = parse_rule("s(X, C) <- C = sum{D : p(X, D)}.")
+        assert containment_mapping(r1, r2) is None
+
+    def test_builtin_subgoals(self):
+        r1 = parse_rule("p(X, C) <- q(X, A), C = A + 1.")
+        r2 = parse_rule("p(X, C) <- q(X, B), C = B + 1.")
+        assert containment_mapping(r1, r2) is not None
+
+    def test_negation_polarity_respected(self):
+        r1 = parse_rule("p(X) <- not q(X).")
+        r2 = parse_rule("p(X) <- q(X).")
+        assert containment_mapping(r1, r2) is None
+
+
+class TestConstraintInstance:
+    def test_example_2_5_direct_constraint(self):
+        """The conjunction of the two unified path-rule bodies contains an
+        instance of ← arc(direct, Z, C)."""
+        program = parse_program(
+            """
+            @constraint arc(direct, Z, C).
+            path(X, direct, Y, D) <- arc(X, Y, D).
+            path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            """
+        )
+        constraint = program.constraints[0]
+        # Bodies after unifying heads on non-cost args (Z := direct):
+        conjunction = parse_rule(
+            "x(X) <- arc(X, Y, D), s(X, direct, C1), arc(direct, Y, C2), "
+            "C = C1 + C2."
+        ).body
+        assert find_constraint_instance(constraint.body, conjunction) is not None
+
+    def test_absent_instance(self):
+        program = parse_program(
+            """
+            @constraint gate(G, or), gate(G, and).
+            p(X) <- gate(X, or).
+            """
+        )
+        constraint = program.constraints[0]
+        conjunction = parse_rule("x(G) <- gate(G, or), gate(G, xor).").body
+        assert find_constraint_instance(constraint.body, conjunction) is None
+
+    def test_shared_variable_instance(self):
+        program = parse_program(
+            """
+            @constraint gate(G, or), gate(G, and).
+            p(X) <- gate(X, or).
+            """
+        )
+        constraint = program.constraints[0]
+        conjunction = parse_rule("x(H) <- gate(H, or), gate(H, and).").body
+        assert find_constraint_instance(constraint.body, conjunction) is not None
+
+
+class TestApplySubstitution:
+    def test_rule_substitution(self):
+        rule = parse_rule("p(X, C) <- q(X, Y), C = Y + 1.")
+        out = apply_to_rule(rule, {Variable("Y"): Constant(4)})
+        assert "4" in str(out)
+        assert "Y" not in str(out)

@@ -1,0 +1,158 @@
+"""Well-typed and well-formed rules (Definition 4.2)."""
+
+import pytest
+
+from repro.analysis.wellformed import cdb_cost_variables, check_rule_form
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+
+
+def analyzed(source, cdb):
+    program = parse_program(source)
+    rule = program.rules[-1]
+    return check_rule_form(rule, program, frozenset(cdb)), program, rule
+
+
+HEADER = """
+@cost p/2 : reals_ge.
+@cost q/2 : reals_ge.
+@cost r/2 : nonneg_reals_le.
+@pred e/1.
+"""
+
+
+class TestWellFormedRule2:
+    """Only variables in CDB cost arguments and aggregate results."""
+
+    def test_constant_in_cdb_head_cost(self):
+        report, _, _ = analyzed(HEADER + "p(X, 3) <- e(X).", {"p"})
+        assert not report.well_formed
+
+    def test_constant_cost_ok_when_not_cdb(self):
+        report, _, _ = analyzed(HEADER + "p(X, 3) <- e(X).", {"other"})
+        assert report.well_formed
+
+    def test_constant_aggregate_result(self):
+        report, _, _ = analyzed(
+            "@pred q/1.\np(a) <- 1 =r count{q(X)}.", {"p", "q"}
+        )
+        assert not report.well_formed
+        assert any("left" in v for v in report.form_violations)
+
+    def test_constant_in_body_cdb_cost(self):
+        report, _, _ = analyzed(HEADER + "p(X, C) <- q(X, 5), C = 1 * 5.", {"p", "q"})
+        assert not report.well_formed
+
+
+class TestWellFormedRule3:
+    """Each CDB cost variable occurs at most once among non-built-ins."""
+
+    def test_single_occurrence_ok(self):
+        report, _, _ = analyzed(
+            HEADER + "p(X, C) <- q(X, C1), C = C1 + 1.", {"p", "q"}
+        )
+        assert report.well_formed
+
+    def test_double_occurrence_rejected(self):
+        report, _, _ = analyzed(
+            HEADER + "p(X, C) <- q(X, C), q(X, C).", {"p", "q"}
+        )
+        assert not report.well_formed
+
+    def test_equality_join_of_cdb_costs_rejected(self):
+        # C in two different CDB atoms — needs both growing costs equal.
+        report, _, _ = analyzed(
+            HEADER + "@cost p2/2 : reals_ge.\n"
+            "p(X, C) <- q(X, C), p2(X, C).",
+            {"p", "q", "p2"},
+        )
+        assert not report.well_formed
+
+    def test_ldb_cost_variable_unrestricted(self):
+        # C appears twice in LDB cost arguments and nowhere in a CDB cost
+        # position, so it is not a CDB cost variable: fine.
+        report, _, _ = analyzed(
+            "@cost q/2 : reals_ge.\n@pred w/1.\nw(X) <- q(X, C), q(X, C).",
+            {"w"},
+        )
+        assert report.well_formed
+
+    def test_head_cost_var_repeated_in_ldb_body_rejected(self):
+        # C is a CDB cost variable via the head, so even occurrences in
+        # LDB cost arguments are counted (Definition 4.2 is syntactic).
+        report, _, _ = analyzed(
+            HEADER + "p(X, C) <- q(X, C), q(X, C).", {"p"}
+        )
+        assert not report.well_formed
+
+    def test_head_occurrence_not_counted(self):
+        # C occurs in the head and once in the body: allowed.
+        report, _, _ = analyzed(HEADER + "p(X, C) <- q(X, C).", {"p", "q"})
+        assert report.well_formed
+
+
+class TestCdbCostVariables:
+    def test_collects_head_body_and_aggregate_vars(self):
+        program = parse_program(
+            HEADER + "p(X, C) <- q(X, C1), C = sum{D : r(X, D)}."
+        )
+        rule = program.rules[-1]
+        cdb_vars = cdb_cost_variables(rule, program, frozenset({"p", "q", "r"}))
+        # C: head cost arg of CDB p and result of a CDB aggregate;
+        # C1: cost arg of CDB body atom q;
+        # D: the multiset variable sits in the cost argument of CDB r (its
+        # defining occurrence after the aggregate function is ignored, but
+        # the in-conjunct occurrence counts — Definition 4.2's footnote).
+        assert cdb_vars == {Variable("C"), Variable("C1"), Variable("D")}
+
+    def test_ldb_only_aggregate_result_excluded(self):
+        program = parse_program(
+            HEADER + "p(X, C) <- q(X, C1), C = sum{D : r(X, D)}."
+        )
+        rule = program.rules[-1]
+        # With only q in the CDB, the aggregate over r is an LDB aggregate
+        # and the head predicate p is not CDB either.
+        cdb_vars = cdb_cost_variables(rule, program, frozenset({"q"}))
+        assert cdb_vars == {Variable("C1")}
+
+
+class TestWellTyped:
+    def test_multiset_var_in_noncost_position(self):
+        report, _, _ = analyzed(
+            HEADER + "p(X, C) <- C =r min{D : q(D, D)}.", {"p", "q"}
+        )
+        assert not report.well_typed
+
+    def test_domain_lattice_mismatch(self):
+        # sum's domain is nonneg_reals_le but q's cost column is reals_ge.
+        report, _, _ = analyzed(
+            HEADER + "r(X, C) <- C =r sum{D : q(X, D)}.", {"r", "q"}
+        )
+        assert not report.well_typed
+
+    def test_domain_lattice_match(self):
+        report, _, _ = analyzed(
+            HEADER + "r(X, C) <- C =r sum{D : r2(X, D)}.\n"
+            "@cost r2/2 : nonneg_reals_le.",
+            {"r", "r2"},
+        )
+        assert report.well_typed
+
+    def test_range_vs_head_mismatch(self):
+        # min's range is reals_ge but r's column is nonneg_reals_le.
+        report, _, _ = analyzed(
+            HEADER + "r(X, C) <- C =r min{D : q(X, D)}.", {"r", "q"}
+        )
+        assert not report.well_typed
+
+    def test_copied_cost_var_lattice_mismatch(self):
+        report, _, _ = analyzed(
+            HEADER + "r(X, C) <- q(X, C).", {"r", "q"}
+        )
+        assert not report.well_typed
+
+    def test_multiset_var_never_in_cost_position(self):
+        report, _, _ = analyzed(
+            HEADER + "p(X, C) <- C =r min{D : e(D)}.", {"p", "e"}
+        )
+        assert not report.well_typed
