@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List
 
 from repro.analysis.builtins_mono import check_builtin_monotonicity
+from repro.analysis.violations import Violation
 from repro.analysis.dependencies import Component, condense
 from repro.analysis.wellformed import _is_cdb_aggregate, check_rule_form
 from repro.datalog.program import Program
@@ -30,11 +31,16 @@ class RuleAdmissibility:
     """Admissibility verdict for one rule within one component."""
 
     rule: Rule
-    violations: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def span(self):
+        """Source location of the offending rule (None if built in code)."""
+        return self.rule.span
 
     def __str__(self) -> str:
         if self.ok:
@@ -49,8 +55,14 @@ def check_rule_admissible(
     out = RuleAdmissibility(rule)
 
     form = check_rule_form(rule, program, cdb)
-    out.violations += [f"typing: {v}" for v in form.type_violations]
-    out.violations += [f"form: {v}" for v in form.form_violations]
+    out.violations += [
+        Violation(f"typing: {v}", kind=v.kind or "ill-typed", span=v.span)
+        for v in form.type_violations
+    ]
+    out.violations += [
+        Violation(f"form: {v}", kind=v.kind or "ill-formed", span=v.span)
+        for v in form.form_violations
+    ]
 
     for sg in rule.aggregate_subgoals():
         if not _is_cdb_aggregate(sg, cdb):
@@ -67,24 +79,44 @@ def check_rule_admissible(
             ]
             if bad:
                 out.violations.append(
-                    f"aggregate {sg.function} is only pseudo-monotonic but "
-                    f"CDB conjunct(s) {', '.join(sorted(set(bad)))} are not "
-                    f"default-value cost predicates"
+                    Violation(
+                        f"aggregate {sg.function} is only pseudo-monotonic "
+                        f"but CDB conjunct(s) "
+                        f"{', '.join(sorted(set(bad)))} are not "
+                        f"default-value cost predicates",
+                        kind="inadmissible-aggregate",
+                        span=sg.span or rule.span,
+                    )
                 )
         else:
             out.violations.append(
-                f"aggregate {sg.function} is neither monotonic nor "
-                f"pseudo-monotonic"
+                Violation(
+                    f"aggregate {sg.function} is neither monotonic nor "
+                    f"pseudo-monotonic",
+                    kind="inadmissible-aggregate",
+                    span=sg.span or rule.span,
+                )
             )
 
     builtin_report = check_builtin_monotonicity(rule, program, cdb)
-    out.violations += [f"built-ins: {v}" for v in builtin_report.violations]
+    out.violations += [
+        Violation(
+            f"built-ins: {v}",
+            kind=v.kind or "nonmonotone-builtin",
+            span=v.span,
+        )
+        for v in builtin_report.violations
+    ]
 
     for sg in rule.negative_atom_subgoals():
         if sg.atom.predicate in cdb:
             out.violations.append(
-                f"negation on CDB predicate {sg.atom.predicate} breaks "
-                f"monotonicity (remark after Proposition 6.1)"
+                Violation(
+                    f"negation on CDB predicate {sg.atom.predicate} breaks "
+                    f"monotonicity (remark after Proposition 6.1)",
+                    kind="negation-in-recursion",
+                    span=sg.span or rule.span,
+                )
             )
     return out
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set
 
+from repro.analysis.violations import Violation
 from repro.analysis.wellformed import _is_cdb_aggregate
 from repro.datalog.atoms import AggregateSubgoal, AtomSubgoal, BuiltinSubgoal
 from repro.datalog.program import Program
@@ -193,12 +194,17 @@ class BuiltinMonotonicityReport:
     """Outcome of the Definition 4.4 sufficient check for one rule."""
 
     rule: Rule
-    violations: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
     tags: Dict[Variable, Tag] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def span(self):
+        """Source location of the offending rule (None if built in code)."""
+        return self.rule.span
 
 
 def check_builtin_monotonicity(
@@ -250,8 +256,12 @@ def check_builtin_monotonicity(
         ok = _constraint_preserved(sg.op, left, right)
         if not ok:
             report.violations.append(
-                f"built-in {sg} not certifiably monotone "
-                f"(lhs {left}, rhs {right})"
+                Violation(
+                    f"built-in {sg} not certifiably monotone "
+                    f"(lhs {left}, rhs {right})",
+                    kind="nonmonotone-builtin",
+                    span=sg.span or rule.span,
+                )
             )
 
     # Pass 3 — the head cost variable must move in the head's direction.
@@ -264,25 +274,42 @@ def check_builtin_monotonicity(
             tag = tags.get(head_cost)
             if tag is None:
                 report.violations.append(
-                    f"head cost variable {head_cost} is never bound"
+                    Violation(
+                        f"head cost variable {head_cost} is never bound",
+                        kind="nonmonotone-builtin",
+                        span=rule.head.span or rule.span,
+                    )
                 )
             elif tag.kind == "unknown":
                 report.violations.append(
-                    f"head cost variable {head_cost} has unknown direction"
+                    Violation(
+                        f"head cost variable {head_cost} has unknown "
+                        f"direction",
+                        kind="nonmonotone-builtin",
+                        span=rule.head.span or rule.span,
+                    )
                 )
             elif tag.kind == "varies":
                 if tag.lattice is not None and tag.lattice == head_decl.lattice:
                     pass  # identity flow within one lattice: monotone
                 elif head_direction is None or tag.direction is None:
                     report.violations.append(
-                        f"head cost variable {head_cost} varies in a lattice "
-                        f"that cannot be aligned with the head's "
-                        f"({head_decl.lattice.name})"
+                        Violation(
+                            f"head cost variable {head_cost} varies in a "
+                            f"lattice that cannot be aligned with the "
+                            f"head's ({head_decl.lattice.name})",
+                            kind="nonmonotone-builtin",
+                            span=rule.head.span or rule.span,
+                        )
                     )
                 elif tag.direction != head_direction:
                     report.violations.append(
-                        f"head cost variable {head_cost} varies against the "
-                        f"head lattice's order"
+                        Violation(
+                            f"head cost variable {head_cost} varies against "
+                            f"the head lattice's order",
+                            kind="nonmonotone-builtin",
+                            span=rule.head.span or rule.span,
+                        )
                     )
     report.tags = tags
     return report

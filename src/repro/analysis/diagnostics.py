@@ -1,0 +1,874 @@
+"""Unified diagnostics: every static check as a source-located lint.
+
+The analysis modules each answer one question from the paper — is the
+rule range-restricted (Definition 2.5)?  cost-respecting (Definition
+2.7)?  is the program conflict-free (Definition 2.10)?  admissible
+(Definition 4.5)?  This module gives all of them a single output
+vocabulary: a :class:`Diagnostic` with
+
+* a stable code (``MAD101``) and slug (``unsafe-variable``),
+* a severity (:class:`Severity`),
+* the human message the underlying pass produced,
+* the paper reference and a "why" sentence quoting the definition the
+  program violates,
+* a :class:`~repro.datalog.spans.Span` into the rule text when the
+  program was parsed from source.
+
+The :class:`Linter` is a registry of *checks*, each adapting one
+analysis pass into a stream of diagnostics; new lints (arity
+consistency, undefined/unused predicates, duplicate rules, aggregate
+variable shadowing) live here directly.  ``repro lint`` (the CLI),
+:func:`repro.analysis.report.analyze_program` and the strict mode of
+:meth:`repro.core.database.Database.solve` all consume this module, so
+a violation is reported identically no matter which door it came in
+through.
+
+Code families
+-------------
+
+====== =====================================================
+MAD0xx the program never made it to analysis (syntax, structure)
+MAD1xx safety (Definition 2.5)
+MAD2xx cost consistency (Definitions 2.7, 2.10)
+MAD3xx admissibility / monotonicity (Section 4)
+MAD4xx classification notes (Sections 5–6) — never errors
+MAD5xx program hygiene (not from the paper)
+====== =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.analysis.admissible import check_program_admissible
+from repro.analysis.conflict import check_conflict_freedom
+from repro.analysis.dependencies import condense
+from repro.analysis.fd import check_rule_cost_respecting
+from repro.analysis.rmonotonic import check_program_r_monotonic
+from repro.analysis.safety import check_program_safety
+from repro.analysis.termination import (
+    TerminationVerdict,
+    check_program_termination,
+)
+from repro.datalog.atoms import AggregateSubgoal, AtomSubgoal
+from repro.datalog.errors import ParseError, ProgramError
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.spans import Span
+from repro.datalog.terms import Variable
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; the lint exit code is the maximum emitted."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One entry of the code registry: what a diagnostic code *means*."""
+
+    code: str
+    slug: str
+    severity: Severity
+    reference: str  # where in the paper (or "hygiene" for MAD5xx)
+    why: str  # one sentence quoting/paraphrasing the violated definition
+
+
+_RULES = [
+    LintRule(
+        "MAD001",
+        "syntax-error",
+        Severity.ERROR,
+        "rule-text syntax (README)",
+        "The rule text failed to parse, so no analysis could run.",
+    ),
+    LintRule(
+        "MAD002",
+        "invalid-program",
+        Severity.ERROR,
+        "Section 2.3 (programs)",
+        "The program is structurally invalid (bad declaration, malformed "
+        "aggregate subgoal, ...), so no analysis could run.",
+    ),
+    LintRule(
+        "MAD101",
+        "unsafe-variable",
+        Severity.ERROR,
+        "Definition 2.5 (safety)",
+        "Definition 2.5 requires every variable in the head, in negated "
+        "or default-value subgoals, in built-ins and in aggregate "
+        "groupings to be limited (or quasi-limited for cost positions); "
+        "otherwise Lemma 2.2's finiteness guarantee fails.",
+    ),
+    LintRule(
+        "MAD201",
+        "conflict",
+        Severity.ERROR,
+        "Definition 2.10 (conflict-freedom), Lemma 2.3",
+        "Two rules with unifiable heads are discharged by neither a "
+        "containment mapping nor an integrity-constraint instance, so "
+        "the program is not certified conflict-free and may derive two "
+        "atoms differing only in their cost argument.",
+    ),
+    LintRule(
+        "MAD202",
+        "not-cost-respecting",
+        Severity.ERROR,
+        "Definition 2.7 (cost-respecting rules)",
+        "The head's cost argument is not functionally determined by its "
+        "non-cost arguments under the body's FDs and Armstrong's axioms, "
+        "so a single rule can derive conflicting cost atoms.",
+    ),
+    LintRule(
+        "MAD301",
+        "inadmissible-aggregate",
+        Severity.ERROR,
+        "Definition 4.5 (admissible rules), Lemma 4.1",
+        "A recursive (CDB) aggregate subgoal uses a function that is "
+        "neither monotonic nor pseudo-monotonic over default-value "
+        "predicates, so Lemma 4.1 cannot certify T_P monotonic and the "
+        "component may lack a unique minimal model.",
+    ),
+    LintRule(
+        "MAD302",
+        "ill-typed",
+        Severity.ERROR,
+        "Section 4.2 (typing discipline)",
+        "A cost value flows between positions whose declared lattices "
+        "disagree (aggregate domain/range vs cost column), so the "
+        "monotonicity argument of Section 4.2 does not apply.",
+    ),
+    LintRule(
+        "MAD303",
+        "ill-formed",
+        Severity.ERROR,
+        "Definition 4.2 (well-formed rules)",
+        "Definition 4.2 requires variables (not constants) in CDB cost "
+        "positions and on the left of =/=r, each occurring at most once "
+        "among the non-built-in subgoals.",
+    ),
+    LintRule(
+        "MAD304",
+        "nonmonotone-builtin",
+        Severity.ERROR,
+        "Definitions 4.3-4.4 (monotonic built-in conjunctions)",
+        "The sufficient check cannot certify that the rule's built-in "
+        "conjunction E_r stays satisfied as CDB cost values ⊑-increase "
+        "(Definition 4.3), so admissibility fails.",
+    ),
+    LintRule(
+        "MAD305",
+        "negation-in-recursion",
+        Severity.ERROR,
+        "remark after Proposition 6.1",
+        "Negating a predicate of the same recursive component destroys "
+        "the monotonicity of T_P whenever the rule can fire.",
+    ),
+    LintRule(
+        "MAD401",
+        "recursive-aggregation",
+        Severity.INFO,
+        "Section 5.1 (aggregate stratification)",
+        "The component aggregates one of its own predicates; the program "
+        "is outside the aggregate-stratified class and needs this "
+        "paper's monotonic semantics rather than stratified evaluation.",
+    ),
+    LintRule(
+        "MAD402",
+        "non-stratified-negation",
+        Severity.WARNING,
+        "Section 5.1 (stratified negation)",
+        "The component negates one of its own predicates; unless the "
+        "component is rejected as inadmissible, evaluation order may "
+        "affect the result.",
+    ),
+    LintRule(
+        "MAD403",
+        "not-r-monotonic",
+        Severity.INFO,
+        "Section 5.2 (r-monotonic programs)",
+        "Growth of a subgoal relation can invalidate earlier deductions "
+        "of this rule, so the program is outside Mumick et al.'s "
+        "r-monotonic class (it may still be admissible).",
+    ),
+    LintRule(
+        "MAD404",
+        "termination-unknown",
+        Severity.INFO,
+        "Section 6.2 (termination)",
+        "No sufficient condition of Section 6.2 applies: cost values "
+        "range over an infinite domain, so the Kleene iteration may "
+        "ascend beyond any bound (Example 5.1) and evaluation relies on "
+        "the iteration budget.",
+    ),
+    LintRule(
+        "MAD501",
+        "arity-mismatch",
+        Severity.ERROR,
+        "hygiene (Section 2.3 schemas)",
+        "A predicate is used with an arity different from its declared "
+        "or first-seen arity.",
+    ),
+    LintRule(
+        "MAD502",
+        "unknown-aggregate",
+        Severity.ERROR,
+        "hygiene (Section 2.4 aggregate functions)",
+        "An aggregate subgoal names a function that is not registered.",
+    ),
+    LintRule(
+        "MAD503",
+        "undefined-predicate",
+        Severity.WARNING,
+        "hygiene",
+        "A predicate is read by rule bodies but has no defining rule, no "
+        "fact and no explicit declaration — likely a typo or missing "
+        "extensional data.",
+    ),
+    LintRule(
+        "MAD504",
+        "unused-predicate",
+        Severity.WARNING,
+        "hygiene",
+        "A predicate is explicitly declared but occurs in no rule, fact "
+        "or constraint.",
+    ),
+    LintRule(
+        "MAD505",
+        "duplicate-rule",
+        Severity.WARNING,
+        "hygiene",
+        "The same rule (up to spans) appears more than once; duplicates "
+        "never change the minimal model.",
+    ),
+    LintRule(
+        "MAD506",
+        "shadowed-aggregate-variable",
+        Severity.WARNING,
+        "hygiene (Definition 2.4 groupings)",
+        "The aggregate's multiset variable also occurs outside the "
+        "subgoal (turning it into a grouping variable), or its result "
+        "variable recurs inside the conjuncts — almost certainly not "
+        "what was meant.",
+    ),
+]
+
+#: slug → registry entry.
+BY_SLUG: Dict[str, LintRule] = {r.slug: r for r in _RULES}
+#: code → registry entry.
+BY_CODE: Dict[str, LintRule] = {r.code: r for r in _RULES}
+
+
+@dataclass
+class Diagnostic:
+    """One finding, ready for text or JSON rendering."""
+
+    code: str
+    slug: str
+    severity: Severity
+    message: str
+    reference: str = ""
+    why: str = ""
+    span: Optional[Span] = None
+    rule: Optional[str] = None  # rendered rule/program text the span is in
+    source: str = "<program>"  # file name or program name
+
+    @property
+    def location(self) -> str:
+        if self.span is None:
+            return self.source
+        return f"{self.source}:{self.span}"
+
+    def format(self, *, explain: bool = False) -> str:
+        """GCC-style one-liner, optionally followed by the why/reference."""
+        out = (
+            f"{self.location}: {self.severity}[{self.code}] {self.message}"
+        )
+        if self.rule:
+            out += f"\n    in: {self.rule}"
+        if explain:
+            out += f"\n    why: {self.why} [{self.reference}]"
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": str(self.severity),
+            "message": self.message,
+            "reference": self.reference,
+            "why": self.why,
+            "span": self.span.to_dict() if self.span is not None else None,
+            "rule": self.rule,
+            "source": self.source,
+        }
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def make_diagnostic(
+    slug: str,
+    message: str,
+    *,
+    span: Optional[Span] = None,
+    rule: Optional[Rule] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a diagnostic from a registry slug (KeyError on unknown slug)."""
+    entry = BY_SLUG[slug]
+    return Diagnostic(
+        code=entry.code,
+        slug=entry.slug,
+        severity=entry.severity if severity is None else severity,
+        message=message,
+        reference=entry.reference,
+        why=entry.why,
+        span=span if span is not None else (rule.span if rule else None),
+        rule=str(rule) if rule is not None else None,
+    )
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The worst severity present, or None for an empty stream."""
+    worst: Optional[Severity] = None
+    for d in diagnostics:
+        if worst is None or d.severity > worst:
+            worst = d.severity
+    return worst
+
+
+def _sort_key(d: Diagnostic):
+    line = d.span.line if d.span is not None else 1_000_000_000
+    column = d.span.column if d.span is not None else 0
+    return (line, column, d.code, d.message)
+
+
+# ---------------------------------------------------------------------------
+# Checks: each adapts one analysis pass (or implements a new lint) as a
+# generator of diagnostics.  ``structural=True`` checks run first; when any
+# of them errors, the semantic passes are skipped (they assume a program
+# that validates).
+# ---------------------------------------------------------------------------
+
+CheckFn = Callable[[Program], Iterator[Diagnostic]]
+
+_DEFAULT_CHECKS: List["LintCheck"] = []
+
+
+@dataclass(frozen=True)
+class LintCheck:
+    name: str
+    fn: CheckFn
+    structural: bool = False
+
+
+def lint_check(
+    name: str, *, structural: bool = False
+) -> Callable[[CheckFn], CheckFn]:
+    """Register ``fn`` in the default check list (definition order)."""
+
+    def register(fn: CheckFn) -> CheckFn:
+        _DEFAULT_CHECKS.append(LintCheck(name, fn, structural))
+        return fn
+
+    return register
+
+
+@lint_check("arity-consistency", structural=True)
+def _check_arities(program: Program) -> Iterator[Diagnostic]:
+    for rule in program.rules:
+        for atom in _atoms_of_rule(rule):
+            decl = program.declarations.get(atom.predicate)
+            if decl is not None and atom.arity != decl.arity:
+                yield make_diagnostic(
+                    "arity-mismatch",
+                    f"{atom.predicate} used with arity {atom.arity} but "
+                    f"declared/inferred with arity {decl.arity}",
+                    span=atom.span or rule.span,
+                    rule=rule,
+                )
+    for constraint in program.constraints:
+        for sg in constraint.body:
+            if isinstance(sg, AtomSubgoal):
+                atoms = [sg.atom]
+            elif isinstance(sg, AggregateSubgoal):
+                atoms = list(sg.conjuncts)
+            else:
+                continue
+            for atom in atoms:
+                decl = program.declarations.get(atom.predicate)
+                if decl is not None and atom.arity != decl.arity:
+                    yield make_diagnostic(
+                        "arity-mismatch",
+                        f"{atom.predicate} used with arity {atom.arity} "
+                        f"but declared/inferred with arity {decl.arity}",
+                        span=atom.span or constraint.span,
+                    )
+
+
+@lint_check("known-aggregates", structural=True)
+def _check_aggregates(program: Program) -> Iterator[Diagnostic]:
+    for rule in program.rules:
+        for sg in rule.aggregate_subgoals():
+            if sg.function not in program.aggregates:
+                yield make_diagnostic(
+                    "unknown-aggregate",
+                    f"unknown aggregate function {sg.function!r} "
+                    f"(registered: "
+                    f"{', '.join(sorted(program.aggregates))})",
+                    span=sg.span or rule.span,
+                    rule=rule,
+                )
+
+
+@lint_check("safety")
+def _check_safety(program: Program) -> Iterator[Diagnostic]:
+    for report in check_program_safety(program):
+        for violation in report.violations:
+            yield make_diagnostic(
+                "unsafe-variable",
+                str(violation),
+                span=getattr(violation, "span", None) or report.span,
+                rule=report.rule,
+            )
+
+
+@lint_check("cost-respecting")
+def _check_cost_respecting(program: Program) -> Iterator[Diagnostic]:
+    for rule in program.rules:
+        report = check_rule_cost_respecting(rule, program)
+        if report.applicable and not report.ok:
+            yield make_diagnostic(
+                "not-cost-respecting",
+                f"head cost argument not functionally determined: "
+                f"{report.detail}",
+                rule=rule,
+            )
+
+
+@lint_check("conflict-freedom")
+def _check_conflicts(program: Program) -> Iterator[Diagnostic]:
+    # Cost-respecting failures are reported (with per-rule spans) by the
+    # dedicated check above; here only genuine rule-pair conflicts.
+    report = check_conflict_freedom(program)
+    for verdict in report.undischarged_pairs:
+        other = (
+            "itself" if verdict.rule1 is verdict.rule2 else str(verdict.rule2)
+        )
+        yield make_diagnostic(
+            "conflict",
+            f"possibly conflicting with {other}: neither a containment "
+            f"mapping nor an integrity-constraint instance discharges "
+            f"the pair",
+            rule=verdict.rule1,
+        )
+
+
+_ADMISSIBILITY_SLUGS = {
+    "ill-typed",
+    "ill-formed",
+    "nonmonotone-builtin",
+    "negation-in-recursion",
+    "inadmissible-aggregate",
+}
+
+
+@lint_check("admissibility")
+def _check_admissibility(program: Program) -> Iterator[Diagnostic]:
+    for component in check_program_admissible(program):
+        for rule_report in component.rule_reports:
+            for violation in rule_report.violations:
+                kind = getattr(violation, "kind", "") or ""
+                slug = (
+                    kind
+                    if kind in _ADMISSIBILITY_SLUGS
+                    else "inadmissible-aggregate"
+                )
+                yield make_diagnostic(
+                    slug,
+                    str(violation),
+                    span=getattr(violation, "span", None)
+                    or rule_report.span,
+                    rule=rule_report.rule,
+                )
+
+
+@lint_check("stratification")
+def _check_stratification(program: Program) -> Iterator[Diagnostic]:
+    for component in condense(program):
+        names = ", ".join(sorted(component.cdb))
+        if component.recursive_through_aggregation:
+            rule, sg = _find_component_subgoal(
+                component, aggregate=True
+            )
+            yield make_diagnostic(
+                "recursive-aggregation",
+                f"component {{{names}}} recurses through aggregation "
+                f"(not aggregate-stratified; evaluated with the "
+                f"monotonic semantics)",
+                span=(sg.span if sg is not None else None)
+                or (rule.span if rule is not None else None),
+                rule=rule,
+            )
+        if component.recursive_through_negation:
+            rule, sg = _find_component_subgoal(
+                component, aggregate=False
+            )
+            yield make_diagnostic(
+                "non-stratified-negation",
+                f"component {{{names}}} recurses through negation "
+                f"(not stratified)",
+                span=(sg.span if sg is not None else None)
+                or (rule.span if rule is not None else None),
+                rule=rule,
+            )
+
+
+@lint_check("r-monotonicity")
+def _check_r_monotonic(program: Program) -> Iterator[Diagnostic]:
+    for report in check_program_r_monotonic(program):
+        for violation in report.violations:
+            yield make_diagnostic(
+                "not-r-monotonic",
+                str(violation),
+                span=getattr(violation, "span", None) or report.span,
+                rule=report.rule,
+            )
+
+
+@lint_check("termination")
+def _check_termination(program: Program) -> Iterator[Diagnostic]:
+    for report in check_program_termination(program):
+        if report.verdict is TerminationVerdict.UNKNOWN:
+            names = ", ".join(sorted(report.component.cdb))
+            rules = report.component.rules
+            yield make_diagnostic(
+                "termination-unknown",
+                f"component {{{names}}}: {report.reason}",
+                rule=rules[0] if rules else None,
+            )
+
+
+@lint_check("undefined-predicates")
+def _check_undefined(program: Program) -> Iterator[Diagnostic]:
+    defined = set(program.idb_predicates) | set(
+        program.explicit_declarations
+    )
+    seen: set = set()
+    for rule in program.rules:
+        for sg in rule.body:
+            if isinstance(sg, AtomSubgoal):
+                atoms = [(sg.atom, sg.span)]
+            elif isinstance(sg, AggregateSubgoal):
+                atoms = [(c, c.span or sg.span) for c in sg.conjuncts]
+            else:
+                continue
+            for atom, span in atoms:
+                predicate = atom.predicate
+                if predicate in defined or predicate in seen:
+                    continue
+                seen.add(predicate)
+                yield make_diagnostic(
+                    "undefined-predicate",
+                    f"{predicate} is read here but has no rule, fact or "
+                    f"declaration",
+                    span=atom.span or span or rule.span,
+                    rule=rule,
+                )
+
+
+@lint_check("unused-predicates")
+def _check_unused(program: Program) -> Iterator[Diagnostic]:
+    occurring = {atom.predicate for atom in program._occurring_atoms()}
+    for name in sorted(program.explicit_declarations):
+        if name not in occurring:
+            yield make_diagnostic(
+                "unused-predicate",
+                f"{name} is declared but never used",
+            )
+
+
+@lint_check("duplicate-rules")
+def _check_duplicates(program: Program) -> Iterator[Diagnostic]:
+    seen: Dict[Rule, Rule] = {}
+    for rule in program.rules:
+        first = seen.get(rule)
+        if first is None:
+            seen[rule] = rule
+            continue
+        where = f" (first at {first.span})" if first.span else ""
+        yield make_diagnostic(
+            "duplicate-rule",
+            f"rule is an exact duplicate of an earlier one{where}",
+            rule=rule,
+        )
+
+
+@lint_check("aggregate-shadowing")
+def _check_shadowing(program: Program) -> Iterator[Diagnostic]:
+    for rule in program.rules:
+        for sg in rule.aggregate_subgoals():
+            inner = frozenset(
+                v for c in sg.conjuncts for v in c.variables()
+            )
+            if (
+                sg.multiset_var is not None
+                and sg.multiset_var in rule.variables_outside(sg)
+            ):
+                yield make_diagnostic(
+                    "shadowed-aggregate-variable",
+                    f"multiset variable {sg.multiset_var} of {sg.function} "
+                    f"also occurs outside the aggregate subgoal, making "
+                    f"it a grouping variable",
+                    span=sg.span or rule.span,
+                    rule=rule,
+                )
+            if isinstance(sg.result, Variable) and sg.result in inner:
+                yield make_diagnostic(
+                    "shadowed-aggregate-variable",
+                    f"result variable {sg.result} of {sg.function} also "
+                    f"occurs inside the aggregate's conjuncts",
+                    span=sg.span or rule.span,
+                    rule=rule,
+                )
+
+
+def _atoms_of_rule(rule: Rule):
+    yield rule.head
+    for sg in rule.body:
+        if isinstance(sg, AtomSubgoal):
+            yield sg.atom
+        elif isinstance(sg, AggregateSubgoal):
+            yield from sg.conjuncts
+
+
+def _find_component_subgoal(component, *, aggregate: bool):
+    """The (rule, subgoal) witnessing recursion through aggregation or
+    negation inside ``component``, for span attribution."""
+    for rule in component.rules:
+        for sg in rule.body:
+            if aggregate and isinstance(sg, AggregateSubgoal):
+                if any(c.predicate in component.cdb for c in sg.conjuncts):
+                    return rule, sg
+            elif (
+                not aggregate
+                and isinstance(sg, AtomSubgoal)
+                and sg.negated
+                and sg.atom.predicate in component.cdb
+            ):
+                return rule, sg
+    rules = component.rules
+    return (rules[0] if rules else None), None
+
+
+# ---------------------------------------------------------------------------
+# The linter
+# ---------------------------------------------------------------------------
+
+
+class Linter:
+    """A registry of checks run over a program.
+
+    The default registry adapts every pass in :mod:`repro.analysis` plus
+    the hygiene lints defined above.  Custom linters can start from an
+    explicit check list or extend the default via :meth:`register`.
+    """
+
+    def __init__(self, checks: Optional[Iterable[LintCheck]] = None) -> None:
+        self.checks: List[LintCheck] = list(
+            _DEFAULT_CHECKS if checks is None else checks
+        )
+
+    def register(
+        self, name: str, fn: CheckFn, *, structural: bool = False
+    ) -> None:
+        self.checks.append(LintCheck(name, fn, structural))
+
+    def lint(
+        self, program: Program, *, source: str = ""
+    ) -> List[Diagnostic]:
+        """All diagnostics for ``program``, sorted by source position.
+
+        Structural checks run first; if any of them reports an error the
+        semantic passes are skipped — they assume a program that would
+        have validated, and running them would only cascade.
+        """
+        source = source or program.name
+        out: List[Diagnostic] = []
+        for check in self.checks:
+            if check.structural:
+                out.extend(check.fn(program))
+        structurally_broken = any(
+            d.severity is Severity.ERROR for d in out
+        )
+        if not structurally_broken:
+            for check in self.checks:
+                if check.structural:
+                    continue
+                try:
+                    out.extend(check.fn(program))
+                except ProgramError as exc:
+                    out.append(
+                        make_diagnostic(
+                            "invalid-program",
+                            f"{check.name} aborted: {exc}",
+                            span=exc.span,
+                        )
+                    )
+        for d in out:
+            d.source = source
+        out.sort(key=_sort_key)
+        return out
+
+
+#: Module-level default, used by :func:`lint_program` / :func:`lint_source`.
+DEFAULT_LINTER = Linter()
+
+
+def lint_program(
+    program: Program, *, source: str = "", linter: Optional[Linter] = None
+) -> List[Diagnostic]:
+    """Lint an already-constructed :class:`Program`."""
+    return (linter or DEFAULT_LINTER).lint(program, source=source)
+
+
+def lint_source(
+    text: str,
+    *,
+    name: str = "<string>",
+    lattices=None,
+    aggregates=None,
+    linter: Optional[Linter] = None,
+) -> List[Diagnostic]:
+    """Parse rule text (without validating) and lint the result.
+
+    Parse failures become a single ``MAD001``; structural failures the
+    parser itself raises (duplicate declarations, malformed aggregate
+    subgoals, unknown lattices) become ``MAD002``.  Both carry the
+    source span when one is known.
+    """
+    from repro.datalog.parser import parse_program
+
+    kwargs = {}
+    if lattices is not None:
+        kwargs["lattices"] = lattices
+    if aggregates is not None:
+        kwargs["aggregates"] = aggregates
+    try:
+        program = parse_program(text, name=name, validate=False, **kwargs)
+    except ParseError as exc:
+        diagnostic = make_diagnostic(
+            "syntax-error", exc.bare_message, span=exc.span
+        )
+        diagnostic.source = name
+        return [diagnostic]
+    except ProgramError as exc:
+        diagnostic = make_diagnostic(
+            "invalid-program", exc.bare_message, span=exc.span
+        )
+        diagnostic.source = name
+        return [diagnostic]
+    return lint_program(program, source=name, linter=linter)
+
+
+#: Which code family falsifies which classification claim.  Used to check
+#: the linter against the paper's own verdicts for the catalog programs
+#: (``repro lint --catalog`` and the test suite).
+EXPECTED_CODE_FAMILIES: Dict[str, tuple] = {
+    "range_restricted": ("MAD101",),
+    "conflict_free": ("MAD201", "MAD202"),
+    "admissible": ("MAD301", "MAD302", "MAD303", "MAD304", "MAD305"),
+    "r_monotonic": ("MAD403",),
+    "aggregate_stratified": ("MAD401",),
+}
+
+#: Codes that should never fire for a curated program.
+HYGIENE_CODES = frozenset(
+    ("MAD001", "MAD002", "MAD501", "MAD502", "MAD503", "MAD504", "MAD505",
+     "MAD506")
+)
+
+
+def expected_mismatches(
+    expected: Dict[str, bool], diagnostics: Iterable[Diagnostic]
+) -> List[str]:
+    """Ways ``diagnostics`` disagree with a catalog ``expected`` dict.
+
+    A classification claimed True must have no diagnostics of the
+    corresponding family; one claimed False must have at least one.
+    Hygiene codes must never fire.  Empty result ⇒ the linter agrees
+    with the paper's verdicts.
+    """
+    codes = {d.code for d in diagnostics}
+    problems: List[str] = []
+    for key, family in EXPECTED_CODE_FAMILIES.items():
+        if key not in expected:
+            continue
+        clean = not (codes & set(family))
+        if expected[key] and not clean:
+            problems.append(
+                f"{key}: expected clean but got "
+                f"{', '.join(sorted(codes & set(family)))}"
+            )
+        elif not expected[key] and clean:
+            problems.append(
+                f"{key}: expected findings from {'/'.join(family)} but "
+                f"got none"
+            )
+    stray = codes & HYGIENE_CODES
+    if stray:
+        problems.append(
+            f"hygiene codes fired: {', '.join(sorted(stray))}"
+        )
+    return problems
+
+
+def render_text(
+    diagnostics: List[Diagnostic], *, explain: bool = False
+) -> str:
+    """The text report: one block per diagnostic plus a summary line."""
+    lines = [d.format(explain=explain) for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = sum(
+        1 for d in diagnostics if d.severity is Severity.WARNING
+    )
+    infos = sum(1 for d in diagnostics if d.severity is Severity.INFO)
+    lines.append(
+        f"{errors} error(s), {warnings} warning(s), {infos} note(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: List[Diagnostic]) -> str:
+    """The JSON report: ``{"diagnostics": [...], "summary": {...}}``."""
+    worst = max_severity(diagnostics)
+    return json.dumps(
+        {
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "summary": {
+                "errors": sum(
+                    1 for d in diagnostics if d.severity is Severity.ERROR
+                ),
+                "warnings": sum(
+                    1
+                    for d in diagnostics
+                    if d.severity is Severity.WARNING
+                ),
+                "notes": sum(
+                    1 for d in diagnostics if d.severity is Severity.INFO
+                ),
+                "max_severity": str(worst) if worst is not None else None,
+            },
+        },
+        indent=2,
+    )

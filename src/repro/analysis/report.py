@@ -30,6 +30,12 @@ from repro.analysis.dependencies import (
     is_aggregate_stratified,
     is_negation_stratified,
 )
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Linter,
+    Severity,
+    lint_program,
+)
 from repro.analysis.fd import CostRespectReport, check_rule_cost_respecting
 from repro.analysis.rmonotonic import is_r_monotonic
 from repro.analysis.safety import SafetyReport, check_program_safety
@@ -48,6 +54,9 @@ class AnalysisReport:
     aggregate_stratified: bool = False
     negation_stratified: bool = False
     r_monotonic: bool = False
+    #: Every finding re-expressed as a coded, source-located diagnostic
+    #: (see :mod:`repro.analysis.diagnostics`).
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def range_restricted(self) -> bool:
@@ -82,6 +91,9 @@ class AnalysisReport:
             and self.admissible
         )
 
+    def diagnostics_by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
     def __str__(self) -> str:
         lines = [f"analysis of {self.program.name}:"]
         lines.append(f"  range-restricted:      {self.range_restricted}")
@@ -101,11 +113,25 @@ class AnalysisReport:
                 lines.append("  " + str(r))
         if not self.conflict.ok:
             lines.append("  " + str(self.conflict).replace("\n", "\n  "))
+        actionable = [
+            d for d in self.diagnostics if d.severity > Severity.INFO
+        ]
+        if actionable:
+            lines.append(f"  diagnostics ({len(actionable)}):")
+            for d in actionable:
+                lines.append("    " + d.format().replace("\n", "\n    "))
         return "\n".join(lines)
 
 
-def analyze_program(program: Program) -> AnalysisReport:
-    """Run the full static pipeline on ``program``."""
+def analyze_program(
+    program: Program, *, linter: "Linter | None" = None
+) -> AnalysisReport:
+    """Run the full static pipeline on ``program``.
+
+    The boolean verdicts come from the analysis passes directly; the same
+    passes feed the linter, whose coded, source-located diagnostics are
+    collected on ``report.diagnostics``.
+    """
     report = AnalysisReport(program)
     report.safety = check_program_safety(program)
     report.cost_respecting = [
@@ -116,4 +142,5 @@ def analyze_program(program: Program) -> AnalysisReport:
     report.aggregate_stratified = is_aggregate_stratified(program)
     report.negation_stratified = is_negation_stratified(program)
     report.r_monotonic = is_r_monotonic(program)
+    report.diagnostics = lint_program(program, linter=linter)
     return report

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set
 
+from repro.analysis.violations import Violation
 from repro.datalog.atoms import AggregateSubgoal, BuiltinSubgoal
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
@@ -42,11 +43,16 @@ class RMonotonicReport:
     """Why a rule is (not) r-monotonic."""
 
     rule: Rule
-    violations: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def span(self):
+        """Source location of the offending rule (None if built in code)."""
+        return self.rule.span
 
 
 def _aggregate_growth_direction(
@@ -68,7 +74,13 @@ def check_rule_r_monotonic(rule: Rule, program: Program) -> RMonotonicReport:
     report = RMonotonicReport(rule)
 
     for sg in rule.negative_atom_subgoals():
-        report.violations.append(f"negated subgoal {sg}")
+        report.violations.append(
+            Violation(
+                f"negated subgoal {sg}",
+                kind="not-r-monotonic",
+                span=sg.span or rule.span,
+            )
+        )
 
     head_vars = rule.head.variable_set()
     growth: Dict[Variable, Optional[int]] = {}
@@ -77,9 +89,13 @@ def check_rule_r_monotonic(rule: Rule, program: Program) -> RMonotonicReport:
             continue
         if sg.result in head_vars:
             report.violations.append(
-                f"aggregate value {sg.result} of {sg.function} appears in "
-                f"the head (grows as tuples are added, invalidating earlier "
-                f"deductions)"
+                Violation(
+                    f"aggregate value {sg.result} of {sg.function} appears "
+                    f"in the head (grows as tuples are added, invalidating "
+                    f"earlier deductions)",
+                    kind="not-r-monotonic",
+                    span=sg.span or rule.span,
+                )
             )
         growth[sg.result] = _aggregate_growth_direction(sg, program)
 
@@ -93,13 +109,22 @@ def check_rule_r_monotonic(rule: Rule, program: Program) -> RMonotonicReport:
             # Comparing the aggregate with anything by (in)equality: any
             # growth breaks the old relationship.
             report.violations.append(
-                f"aggregate value constrained by (in)equality {sg}"
+                Violation(
+                    f"aggregate value constrained by (in)equality {sg}",
+                    kind="not-r-monotonic",
+                    span=sg.span or rule.span,
+                )
             )
             continue
         ok = _comparison_growth_safe(sg, growth)
         if not ok:
             report.violations.append(
-                f"comparison {sg} can be invalidated as the aggregate grows"
+                Violation(
+                    f"comparison {sg} can be invalidated as the aggregate "
+                    f"grows",
+                    kind="not-r-monotonic",
+                    span=sg.span or rule.span,
+                )
             )
     return report
 

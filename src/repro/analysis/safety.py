@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Set
 
+from repro.analysis.violations import Violation
 from repro.datalog.atoms import (
     AggregateSubgoal,
     Atom,
@@ -128,11 +129,16 @@ class SafetyReport:
     """Violations of Definition 2.5 for one rule (empty ⇒ range-restricted)."""
 
     rule: Rule
-    violations: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def span(self):
+        """Source location of the offending rule (None if built in code)."""
+        return self.rule.span
 
     def __str__(self) -> str:
         if self.ok:
@@ -147,55 +153,81 @@ def check_rule_safety(rule: Rule, program: Program) -> SafetyReport:
     limited = limited_variables(rule, program)
     quasi = quasi_limited_variables(rule, program, limited)
 
-    def require_limited(variables, where: str) -> None:
+    def require_limited(variables, where: str, span=None) -> None:
         for v in sorted(variables, key=lambda v: v.name):
             if v not in limited:
-                report.violations.append(f"{v} not limited ({where})")
+                report.violations.append(
+                    Violation(
+                        f"{v} not limited ({where})",
+                        kind="unsafe-variable",
+                        span=span or rule.span,
+                    )
+                )
 
-    def require_quasi(variables, where: str) -> None:
+    def require_quasi(variables, where: str, span=None) -> None:
         for v in sorted(variables, key=lambda v: v.name):
             if v not in quasi and v not in limited:
-                report.violations.append(f"{v} not quasi-limited ({where})")
+                report.violations.append(
+                    Violation(
+                        f"{v} not quasi-limited ({where})",
+                        kind="unsafe-variable",
+                        span=span or rule.span,
+                    )
+                )
 
     for sg in rule.body:
         if isinstance(sg, AtomSubgoal):
             decl = program.decl(sg.atom.predicate)
             if sg.negated:
                 require_limited(
-                    _atom_noncost_vars(sg.atom, program), f"negated {sg.atom}"
+                    _atom_noncost_vars(sg.atom, program),
+                    f"negated {sg.atom}",
+                    span=sg.span,
                 )
                 cost = _atom_cost_var(sg.atom, program)
                 if cost is not None:
-                    require_quasi([cost], f"negated {sg.atom}")
+                    require_quasi([cost], f"negated {sg.atom}", span=sg.span)
             if decl.has_default:
                 require_limited(
                     _atom_noncost_vars(sg.atom, program),
                     f"default-value subgoal {sg.atom}",
+                    span=sg.span,
                 )
         elif isinstance(sg, AggregateSubgoal):
-            require_limited(rule.grouping_variables(sg), f"grouping of {sg}")
+            require_limited(
+                rule.grouping_variables(sg), f"grouping of {sg}", span=sg.span
+            )
             for conjunct in sg.conjuncts:
                 decl = program.decl(conjunct.predicate)
                 if decl.has_default:
                     require_limited(
                         _atom_noncost_vars(conjunct, program),
                         f"default-value conjunct {conjunct}",
+                        span=conjunct.span or sg.span,
                     )
                 noncost_locals = _atom_noncost_vars(
                     conjunct, program
                 ) & rule.local_variables(sg)
-                require_limited(noncost_locals, f"local variables of {sg}")
+                require_limited(
+                    noncost_locals,
+                    f"local variables of {sg}",
+                    span=conjunct.span or sg.span,
+                )
         elif isinstance(sg, BuiltinSubgoal):
-            require_quasi(sg.variable_set(), f"built-in {sg}")
+            require_quasi(sg.variable_set(), f"built-in {sg}", span=sg.span)
 
     head_decl = program.decl(rule.head.predicate)
     require_limited(
-        _atom_noncost_vars(rule.head, program), f"head {rule.head}"
+        _atom_noncost_vars(rule.head, program),
+        f"head {rule.head}",
+        span=rule.head.span,
     )
     if head_decl.is_cost_predicate:
         cost = _atom_cost_var(rule.head, program)
         if cost is not None:
-            require_quasi([cost], f"head cost argument of {rule.head}")
+            require_quasi(
+                [cost], f"head cost argument of {rule.head}", span=rule.head.span
+            )
     return report
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Set
 
+from repro.analysis.violations import Violation
 from repro.datalog.atoms import (
     AggregateSubgoal,
     Atom,
@@ -76,8 +77,8 @@ class FormReport:
     """Violations of well-typedness / well-formedness for one rule."""
 
     rule: Rule
-    type_violations: List[str] = field(default_factory=list)
-    form_violations: List[str] = field(default_factory=list)
+    type_violations: List[Violation] = field(default_factory=list)
+    form_violations: List[Violation] = field(default_factory=list)
 
     @property
     def well_typed(self) -> bool:
@@ -90,6 +91,10 @@ class FormReport:
     @property
     def ok(self) -> bool:
         return self.well_typed and self.well_formed
+
+    @property
+    def span(self):
+        return self.rule.span
 
 
 def check_well_typed(
@@ -116,8 +121,12 @@ def check_well_typed(
                 )
                 if sg.multiset_var in noncost:
                     report.type_violations.append(
-                        f"multiset variable {sg.multiset_var} occurs in a "
-                        f"non-cost argument of {conjunct}"
+                        Violation(
+                            f"multiset variable {sg.multiset_var} occurs in "
+                            f"a non-cost argument of {conjunct}",
+                            kind="ill-typed",
+                            span=conjunct.span or sg.span or rule.span,
+                        )
                     )
                 if (
                     decl.is_cost_predicate
@@ -127,14 +136,23 @@ def check_well_typed(
                     assert decl.lattice is not None
                     if decl.lattice != function.domain:
                         report.type_violations.append(
-                            f"aggregate {sg.function} has domain "
-                            f"{function.domain.name} but {conjunct.predicate}'s "
-                            f"cost column is {decl.lattice.name}"
+                            Violation(
+                                f"aggregate {sg.function} has domain "
+                                f"{function.domain.name} but "
+                                f"{conjunct.predicate}'s cost column is "
+                                f"{decl.lattice.name}",
+                                kind="ill-typed",
+                                span=conjunct.span or sg.span or rule.span,
+                            )
                         )
             if occurrences_in_cost == 0:
                 report.type_violations.append(
-                    f"multiset variable {sg.multiset_var} occurs in no cost "
-                    f"argument inside {sg}"
+                    Violation(
+                        f"multiset variable {sg.multiset_var} occurs in no "
+                        f"cost argument inside {sg}",
+                        kind="ill-typed",
+                        span=sg.span or rule.span,
+                    )
                 )
         # Result flowing straight into the head cost argument.
         if (
@@ -145,9 +163,14 @@ def check_well_typed(
             assert head_decl.lattice is not None
             if function.range_ != head_decl.lattice:
                 report.type_violations.append(
-                    f"aggregate {sg.function} has range {function.range_.name} "
-                    f"but head {rule.head.predicate}'s cost column is "
-                    f"{head_decl.lattice.name}"
+                    Violation(
+                        f"aggregate {sg.function} has range "
+                        f"{function.range_.name} but head "
+                        f"{rule.head.predicate}'s cost column is "
+                        f"{head_decl.lattice.name}",
+                        kind="ill-typed",
+                        span=sg.span or rule.span,
+                    )
                 )
 
     # Body cost variable copied straight into the head cost argument.
@@ -158,9 +181,13 @@ def check_well_typed(
                 assert decl.lattice is not None and head_decl.lattice is not None
                 if decl.lattice != head_decl.lattice:
                     report.type_violations.append(
-                        f"cost variable {head_cost} carries "
-                        f"{decl.lattice.name} (from {sg.atom.predicate}) but "
-                        f"the head column is {head_decl.lattice.name}"
+                        Violation(
+                            f"cost variable {head_cost} carries "
+                            f"{decl.lattice.name} (from {sg.atom.predicate}) "
+                            f"but the head column is {head_decl.lattice.name}",
+                            kind="ill-typed",
+                            span=sg.span or rule.span,
+                        )
                     )
 
 
@@ -177,7 +204,12 @@ def check_well_formed(
             and not isinstance(atom.args[-1], Variable)
         ):
             report.form_violations.append(
-                f"constant in the cost argument of CDB atom {atom} ({where})"
+                Violation(
+                    f"constant in the cost argument of CDB atom {atom} "
+                    f"({where})",
+                    kind="ill-formed",
+                    span=atom.span or rule.span,
+                )
             )
 
     # Ground fact rules are exempt: a bodiless rule contributes a constant
@@ -196,8 +228,12 @@ def check_well_formed(
             # ... and to the left of the (restricted) equality sign.
             if not isinstance(sg.result, Variable):
                 report.form_violations.append(
-                    f"constant {sg.result} on the left of {sg.equality_symbol} "
-                    f"in {sg}"
+                    Violation(
+                        f"constant {sg.result} on the left of "
+                        f"{sg.equality_symbol} in {sg}",
+                        kind="ill-formed",
+                        span=sg.span or rule.span,
+                    )
                 )
 
     # (3) each CDB cost variable has at most one occurrence among the
@@ -223,8 +259,12 @@ def check_well_formed(
     for v, n in sorted(counts.items(), key=lambda kv: kv[0].name):
         if n > 1:
             report.form_violations.append(
-                f"CDB cost variable {v} occurs {n} times among the "
-                f"non-built-in subgoals (at most one allowed)"
+                Violation(
+                    f"CDB cost variable {v} occurs {n} times among the "
+                    f"non-built-in subgoals (at most one allowed)",
+                    kind="ill-formed",
+                    span=rule.span,
+                )
             )
 
 

@@ -4,8 +4,14 @@ Usage::
 
     python -m repro solve program.mad [--facts facts.mad] [--method seminaive]
     python -m repro analyze program.mad
+    python -m repro lint program.mad [--format json] [--explain]
+    python -m repro lint --catalog    # gate the built-ins on their verdicts
     python -m repro examples          # list the built-in paper programs
     python -m repro solve --program shortest-path --facts facts.mad
+
+``lint`` prints coded, source-located diagnostics (``MAD101`` etc., see
+docs/LANGUAGE.md) and exits with the maximum severity found: 0 (clean or
+notes only), 1 (warnings), 2 (errors).
 
 Rule files use the library's textual syntax (see README); facts files are
 rule files containing only ground facts.  Output is the model, one atom
@@ -82,6 +88,87 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import (
+        Severity,
+        lint_source,
+        render_json,
+        render_text,
+    )
+
+    if args.catalog:
+        if args.files or args.program:
+            raise ReproError(
+                "--catalog lints the built-in programs only; "
+                "drop the file/--program arguments or run them separately"
+            )
+        return _lint_catalog(args)
+    sources = []
+    if args.program:
+        catalog = {p.name: p for p in ALL_PROGRAMS}
+        if args.program not in catalog:
+            raise ReproError(
+                f"unknown built-in program {args.program!r}; "
+                f"try: {', '.join(sorted(catalog))}"
+            )
+        sources.append((args.program, catalog[args.program].source))
+    for path in args.files:
+        with open(path, encoding="utf-8") as handle:
+            sources.append((path, handle.read()))
+    if not sources:
+        raise ReproError("nothing to lint: give files, --program or --catalog")
+
+    diagnostics = []
+    for name, text in sources:
+        diagnostics.extend(lint_source(text, name=name))
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics, explain=args.explain))
+    worst = max((d.severity for d in diagnostics), default=Severity.INFO)
+    return int(worst)
+
+
+def _lint_catalog(args: argparse.Namespace) -> int:
+    """Lint every built-in paper program against its expected verdicts."""
+    from repro.analysis.diagnostics import expected_mismatches, lint_source
+
+    failures = 0
+    rows = []
+    for paper_program in ALL_PROGRAMS:
+        diagnostics = lint_source(
+            paper_program.source, name=paper_program.name
+        )
+        problems = expected_mismatches(paper_program.expected, diagnostics)
+        codes = sorted({d.code for d in diagnostics})
+        rows.append(
+            {
+                "name": paper_program.name,
+                "codes": codes,
+                "ok": not problems,
+                "mismatches": problems,
+            }
+        )
+        if problems:
+            failures += 1
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps({"programs": rows, "failures": failures}, indent=2))
+    else:
+        for row in rows:
+            status = "ok" if row["ok"] else "MISMATCH"
+            rendered = ", ".join(row["codes"]) or "clean"
+            print(f"{row['name']:32s} {status:8s} [{rendered}]")
+            for problem in row["mismatches"]:
+                print(f"    {problem}")
+        print(
+            f"% {len(rows) - failures}/{len(rows)} programs lint as the "
+            f"paper classifies them"
+        )
+    return 2 if failures else 0
+
+
 def cmd_examples(_args: argparse.Namespace) -> int:
     for paper_program in ALL_PROGRAMS:
         print(f"{paper_program.name:30s} {paper_program.reference}")
@@ -132,6 +219,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(analyze)
     analyze.set_defaults(handler=cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="coded diagnostics (MAD1xx safety, MAD2xx conflicts, "
+        "MAD3xx admissibility, ...); exit code = max severity",
+    )
+    lint.add_argument(
+        "files", nargs="*", help="rule files in the library's syntax"
+    )
+    lint.add_argument(
+        "--program",
+        help="lint a built-in paper program (see 'examples')",
+    )
+    lint.add_argument(
+        "--catalog",
+        action="store_true",
+        help="lint every built-in paper program and fail unless the "
+        "findings match the paper's own classification",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    lint.add_argument(
+        "--explain",
+        action="store_true",
+        help="append the violated definition and paper reference to "
+        "each finding",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     examples = sub.add_parser("examples", help="list built-in paper programs")
     examples.set_defaults(handler=cmd_examples)

@@ -216,6 +216,19 @@ class Database:
         """Run the full static pipeline (Definitions 2.5, 2.7, 2.10, 4.5)."""
         return analyze_program(self.program)
 
+    def lint(self, *, linter=None):
+        """Coded diagnostics for the assembled program.
+
+        Note: the database merges declarations from every load, so the
+        explicit/inferred split is coarser here than when linting rule
+        text directly (``repro lint file.mad`` /
+        :func:`repro.analysis.diagnostics.lint_source`), and the
+        undefined/unused-predicate lints may stay silent.
+        """
+        from repro.analysis.diagnostics import lint_program
+
+        return lint_program(self.program, source=self.name, linter=linter)
+
     def solve(
         self,
         *,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, FrozenSet, Iterator, Optional, Tuple
 
+from repro.datalog.spans import Span
 from repro.datalog.terms import (
     Constant,
     Expr,
@@ -38,6 +39,8 @@ class Atom:
 
     predicate: str
     args: Tuple[Term, ...]
+    #: Source location when parsed from rule text; never compared/hashed.
+    span: Optional[Span] = field(default=None, compare=False)
 
     @property
     def arity(self) -> int:
@@ -76,6 +79,8 @@ def make_atom(predicate: str, *args: Any) -> Atom:
 class Subgoal:
     """Marker base class for the three subgoal kinds."""
 
+    span: Optional[Span]
+
     def variable_set(self) -> FrozenSet[Variable]:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -86,6 +91,7 @@ class AtomSubgoal(Subgoal):
 
     atom: Atom
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False)
 
     def variable_set(self) -> FrozenSet[Variable]:
         return self.atom.variable_set()
@@ -101,6 +107,7 @@ class BuiltinSubgoal(Subgoal):
     op: str
     lhs: Expr
     rhs: Expr
+    span: Optional[Span] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
@@ -132,6 +139,7 @@ class AggregateSubgoal(Subgoal):
     multiset_var: Optional[Variable]
     conjuncts: Tuple[Atom, ...]
     restricted: bool = field(default=True)
+    span: Optional[Span] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.conjuncts:

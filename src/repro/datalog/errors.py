@@ -4,9 +4,24 @@ Everything raised by this library derives from :class:`ReproError`, so
 callers can catch one type.  The split mirrors the paper's pipeline:
 syntax (parser) → static analysis (safety / conflict-freedom /
 admissibility) → evaluation (cost consistency, non-termination).
+
+Errors raised against a known region of rule text carry a
+:class:`~repro.datalog.spans.Span` (``error.span``); parse errors keep
+the historical ``error.line`` / ``error.column`` attributes as views of
+that span.  Static-analysis rejections (:class:`SafetyError`,
+:class:`NotAdmissibleError`) additionally carry the structured
+``diagnostics`` that produced them, so tooling can render codes and
+source locations instead of scraping the message string.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.datalog.spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.diagnostics import Diagnostic
 
 
 class ReproError(Exception):
@@ -14,32 +29,70 @@ class ReproError(Exception):
 
 
 class ParseError(ReproError):
-    """Rule text failed to parse; carries the source location."""
+    """Rule text failed to parse; carries the source location as a span."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
-        self.line = line
-        self.column = column
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        *,
+        span: Optional[Span] = None,
+    ):
+        if span is None and line is not None:
+            span = Span.point(line, column if column is not None else 1)
+        self.span = span
         location = ""
-        if line is not None:
-            location = f" at line {line}" + (
-                f", column {column}" if column is not None else ""
-            )
+        if span is not None:
+            location = f" at line {span.line}, column {span.column}"
+        elif line is not None:
+            location = f" at line {line}"
+        self.bare_message = message
         super().__init__(message + location)
+
+    @property
+    def line(self) -> int | None:
+        return self.span.line if self.span is not None else None
+
+    @property
+    def column(self) -> int | None:
+        return self.span.column if self.span is not None else None
 
 
 class ProgramError(ReproError):
     """A structurally invalid program (bad arity, unknown predicate, ...)."""
 
+    def __init__(self, message: str, *, span: Optional[Span] = None):
+        self.span = span
+        self.bare_message = message
+        if span is not None:
+            message = f"{message} (at line {span.line}, column {span.column})"
+        super().__init__(message)
 
-class SafetyError(ProgramError):
+
+class AnalysisRejection(ProgramError):
+    """Base for static-analysis rejections; carries structured diagnostics."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        span: Optional[Span] = None,
+        diagnostics: Optional[Sequence["Diagnostic"]] = None,
+    ):
+        super().__init__(message, span=span)
+        self.diagnostics: List["Diagnostic"] = list(diagnostics or ())
+
+
+class SafetyError(AnalysisRejection):
     """A rule violates range-restriction (Definition 2.5)."""
 
 
-class TypeCheckError(ProgramError):
+class TypeCheckError(AnalysisRejection):
     """A rule is not well typed (Section 4.2's typing discipline)."""
 
 
-class NotAdmissibleError(ProgramError):
+class NotAdmissibleError(AnalysisRejection):
     """Strict solving was requested for a program that fails Definition 4.5."""
 
 

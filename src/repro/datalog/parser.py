@@ -57,6 +57,7 @@ from repro.datalog.atoms import (
 from repro.datalog.errors import ParseError
 from repro.datalog.program import PredicateDecl, Program
 from repro.datalog.rules import IntegrityConstraint, Rule
+from repro.datalog.spans import Span
 from repro.datalog.terms import ArithExpr, Constant, Expr, Term, Variable
 from repro.lattices import REGISTRY as LATTICE_REGISTRY
 from repro.lattices.base import Lattice
@@ -81,6 +82,12 @@ class Token:
 
     def __str__(self) -> str:
         return self.text or "<eof>"
+
+    @property
+    def span(self) -> Span:
+        """The source region this token occupies."""
+        width = max(len(self.text), 1)
+        return Span(self.line, self.column, self.line, self.column + width - 1)
 
 
 # "=r" is lexed separately (it needs a lookahead guard so "=rate" stays
@@ -211,10 +218,12 @@ class Parser:
         lattices: Optional[Dict[str, Lattice]] = None,
         aggregates: Optional[Dict[str, AggregateFunction]] = None,
         name: str = "program",
+        validate: bool = True,
     ) -> None:
         self.tokens = tokenize(source)
         self.pos = 0
         self.name = name
+        self.validate = validate
         self.lattices = dict(LATTICE_REGISTRY)
         if lattices:
             self.lattices.update(lattices)
@@ -241,9 +250,14 @@ class Parser:
 
     def error(self, message: str) -> ParseError:
         token = self.current
-        return ParseError(
-            f"{message} (found {token})", token.line, token.column
-        )
+        return ParseError(f"{message} (found {token})", span=token.span)
+
+    def span_from(self, start: Token) -> Span:
+        """Span from ``start`` to the last consumed token (inclusive)."""
+        last = self.tokens[self.pos - 1] if self.pos > 0 else start
+        if (last.line, last.column) < (start.line, start.column):
+            last = start
+        return start.span.to(last.span)
 
     def expect_punct(self, text: str) -> Token:
         token = self.current
@@ -270,10 +284,12 @@ class Parser:
             elif self.at_punct("<-"):
                 # A headless rule is an integrity constraint (Definition
                 # 2.9's own notation; equivalent to "@constraint ...").
-                self.advance()
+                start = self.advance()
                 body = self.parse_subgoal_list()
                 self.expect_punct(".")
-                self.constraints.append(IntegrityConstraint(tuple(body)))
+                self.constraints.append(
+                    IntegrityConstraint(tuple(body), span=self.span_from(start))
+                )
             else:
                 self.rules.append(self.parse_rule())
         from repro.aggregates.standard import default_registry
@@ -287,6 +303,7 @@ class Parser:
             constraints=self.constraints,
             aggregates=aggregates,
             name=self.name,
+            validate=self.validate,
         )
 
     def parse_declaration(self) -> None:
@@ -324,21 +341,25 @@ class Parser:
             self.expect_punct(".")
             self.declarations.append(PredicateDecl(predicate, arity_token.value))
         elif keyword == "constraint":
+            start = self.current
             body = self.parse_subgoal_list()
             self.expect_punct(".")
-            self.constraints.append(IntegrityConstraint(tuple(body)))
+            self.constraints.append(
+                IntegrityConstraint(tuple(body), span=self.span_from(start))
+            )
         else:
             raise self.error(f"unknown declaration @{keyword}")
 
     def parse_rule(self) -> Rule:
+        start = self.current
         head = self.parse_atom()
         if self.at_punct("."):
             self.advance()
-            return Rule(head=head)
+            return Rule(head=head, span=self.span_from(start))
         self.expect_punct("<-")
         body = self.parse_subgoal_list()
         self.expect_punct(".")
-        return Rule(head=head, body=tuple(body))
+        return Rule(head=head, body=tuple(body), span=self.span_from(start))
 
     def parse_subgoal_list(self) -> List[Subgoal]:
         subgoals = [self.parse_subgoal()]
@@ -351,15 +372,18 @@ class Parser:
         token = self.current
         if token.kind is TokenKind.IDENT and token.text == "not":
             self.advance()
-            return AtomSubgoal(self.parse_atom(), negated=True)
+            atom = self.parse_atom()
+            return AtomSubgoal(atom, negated=True, span=self.span_from(token))
         if token.kind is TokenKind.IDENT and self.peek().text == "(":
             # Could still be the start of a built-in ("f(X) + 1 = Y" is not
             # supported — built-ins operate on terms — so an identifier
             # followed by "(" is always an atom).
-            return AtomSubgoal(self.parse_atom())
+            atom = self.parse_atom()
+            return AtomSubgoal(atom, span=atom.span)
         if token.kind is TokenKind.IDENT and not self.at_after_ident_comparison():
             # A zero-arity atom such as "halt".
-            return AtomSubgoal(self.parse_atom())
+            atom = self.parse_atom()
+            return AtomSubgoal(atom, span=atom.span)
         return self.parse_builtin_or_aggregate()
 
     def at_after_ident_comparison(self) -> bool:
@@ -371,6 +395,7 @@ class Parser:
         )
 
     def parse_builtin_or_aggregate(self) -> Subgoal:
+        start = self.current
         lhs = self.parse_expr()
         token = self.current
         if token.kind is not TokenKind.PUNCT or token.text not in (
@@ -389,13 +414,16 @@ class Parser:
                     "the left side of an aggregate subgoal must be a variable "
                     "or constant"
                 )
-            return self.parse_aggregate(lhs, restricted=(op == "=r"))
+            return self.parse_aggregate(lhs, restricted=(op == "=r"), start=start)
         if op == "=r":
             raise self.error("'=r' may only introduce an aggregate subgoal")
         rhs = self.parse_expr()
-        return BuiltinSubgoal(op, lhs, rhs)
+        return BuiltinSubgoal(op, lhs, rhs, span=self.span_from(start))
 
-    def parse_aggregate(self, result: Term, restricted: bool) -> AggregateSubgoal:
+    def parse_aggregate(
+        self, result: Term, restricted: bool, start: Optional[Token] = None
+    ) -> AggregateSubgoal:
+        start = start or self.current
         function = self.expect_ident().text
         self.expect_punct("{")
         multiset_var: Optional[Variable] = None
@@ -414,14 +442,16 @@ class Parser:
                 multiset_var=multiset_var,
                 conjuncts=tuple(conjuncts),
                 restricted=restricted,
+                span=self.span_from(start),
             )
         except ValueError as exc:
             raise self.error(str(exc)) from exc
 
     def parse_atom(self) -> Atom:
+        start = self.current
         name = self.expect_ident().text
         if not self.at_punct("("):
-            return Atom(name, ())
+            return Atom(name, (), span=self.span_from(start))
         self.advance()
         args: List[Term] = []
         if not self.at_punct(")"):
@@ -430,7 +460,7 @@ class Parser:
                 self.advance()
                 args.append(self.parse_term())
         self.expect_punct(")")
-        return Atom(name, tuple(args))
+        return Atom(name, tuple(args), span=self.span_from(start))
 
     def parse_term(self) -> Term:
         token = self.current
@@ -485,14 +515,19 @@ def parse_program(
     lattices: Optional[Dict[str, Lattice]] = None,
     aggregates: Optional[Dict[str, AggregateFunction]] = None,
     name: str = "program",
+    validate: bool = True,
 ) -> Program:
     """Parse rule text into a :class:`Program`.
 
     ``lattices`` and ``aggregates`` extend (and may override) the built-in
     registries for custom cost domains and aggregate functions.
+    ``validate=False`` skips the structural validation pass (the linter
+    uses this to report arity/aggregate problems as diagnostics instead of
+    letting construction raise on the first one).
     """
     return Parser(
-        source, lattices=lattices, aggregates=aggregates, name=name
+        source, lattices=lattices, aggregates=aggregates, name=name,
+        validate=validate,
     ).parse_program()
 
 

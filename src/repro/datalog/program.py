@@ -86,6 +86,10 @@ class Program:
         (:func:`repro.aggregates.standard.default_registry`).
     name:
         Cosmetic, used in reports.
+    validate:
+        Run :meth:`validate` during construction (default).  The linter
+        passes ``False`` so it can report *every* structural problem as a
+        source-located diagnostic instead of raising on the first one.
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class Program:
         constraints: Iterable[IntegrityConstraint] = (),
         aggregates: Optional[Dict[str, AggregateFunction]] = None,
         name: str = "program",
+        validate: bool = True,
     ) -> None:
         self.rules: Tuple[Rule, ...] = tuple(rules)
         self.constraints: Tuple[IntegrityConstraint, ...] = tuple(constraints)
@@ -107,8 +112,15 @@ class Program:
             if decl.name in self.declarations:
                 raise ProgramError(f"duplicate declaration for {decl.name}")
             self.declarations[decl.name] = decl
+        #: Predicates the user declared explicitly (``@cost``/``@pred``/
+        #: programmatic), as opposed to declarations inferred from use.
+        #: The unused/undefined-predicate lints key off this split.
+        self.explicit_declarations: FrozenSet[str] = frozenset(
+            self.declarations
+        )
         self._infer_missing_declarations()
-        self.validate()
+        if validate:
+            self.validate()
 
     # -- declaration handling -------------------------------------------------
 
@@ -187,13 +199,15 @@ class Program:
             if atom.arity != decl.arity:
                 raise ProgramError(
                     f"{atom.predicate} used with arity {atom.arity} but "
-                    f"declared/inferred with arity {decl.arity}"
+                    f"declared/inferred with arity {decl.arity}",
+                    span=atom.span,
                 )
         for rule in self.rules:
             for agg in rule.aggregate_subgoals():
                 if agg.function not in self.aggregates:
                     raise ProgramError(
-                        f"rule {rule}: unknown aggregate {agg.function!r}"
+                        f"rule {rule}: unknown aggregate {agg.function!r}",
+                        span=agg.span or rule.span,
                     )
         # Typing of multiset variables against cost columns is the job of
         # the static analysis layer (repro.analysis.wellformed).

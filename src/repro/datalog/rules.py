@@ -17,6 +17,7 @@ from repro.datalog.atoms import (
     BuiltinSubgoal,
     Subgoal,
 )
+from repro.datalog.spans import Span
 from repro.datalog.terms import Variable
 
 
@@ -27,6 +28,8 @@ class Rule:
     head: Atom
     body: Tuple[Subgoal, ...] = ()
     label: Optional[str] = field(default=None, compare=False)
+    #: Source location when parsed from rule text; never compared/hashed.
+    span: Optional[Span] = field(default=None, compare=False)
 
     # -- subgoal views -------------------------------------------------------
 
@@ -118,6 +121,7 @@ class IntegrityConstraint:
     guarantees no ground instance of the conjunction is ever satisfied."""
 
     body: Tuple[Subgoal, ...]
+    span: Optional[Span] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.body:

@@ -1,0 +1,71 @@
+"""Source spans: where a syntactic object came from in the rule text.
+
+The tokenizer has always tracked line/column per token; a :class:`Span`
+carries that information up into the AST (atoms, subgoals, rules,
+constraints) so that static-analysis diagnostics and parse errors can
+point at the offending source region.  Spans are 1-based and inclusive of
+the start position, exclusive of nothing — ``end_line``/``end_column``
+name the position of the *last character* of the region's final token.
+
+Spans never participate in equality or hashing of the AST nodes that
+carry them: two rules parsed from different positions (or one parsed and
+one built programmatically, with no span at all) still compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous region of rule text, 1-based."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __post_init__(self) -> None:
+        if self.line < 1 or self.column < 1:
+            raise ValueError(f"spans are 1-based, got {self}")
+        if (self.end_line, self.end_column) < (self.line, self.column):
+            raise ValueError(f"span ends before it starts: {self}")
+
+    @classmethod
+    def point(cls, line: int, column: int) -> "Span":
+        """A zero-width span at one position (parse errors, EOF)."""
+        return cls(line, column, line, column)
+
+    def to(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(start[0], start[1], end[0], end[1])
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (used by ``repro lint --format json``)."""
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+def cover(*spans: Optional[Span]) -> Optional[Span]:
+    """The smallest span covering every non-None argument, or None."""
+    out: Optional[Span] = None
+    for span in spans:
+        if span is None:
+            continue
+        out = span if out is None else out.to(span)
+    return out

@@ -35,8 +35,17 @@ def _head_satisfaction(
         if stored is None:
             return False
         if up_to_order:
-            assert rel.decl.lattice is not None
-            return rel.decl.lattice.leq(args[-1], stored)
+            # ⊑-domination up to floating-point noise: a derived cost may
+            # differ from the stored one by an ulp when the two were
+            # computed along different arithmetic routes (e.g. a uniformly
+            # perturbed pre-model re-deriving ``(s - δ) + c`` against a
+            # stored ``(s + c) - δ``); exact ``leq`` on a real chain would
+            # misread that as a violation.
+            lattice = rel.decl.lattice
+            assert lattice is not None
+            return lattice.leq(args[-1], stored) or lattice.close(
+                args[-1], stored
+            )
         return stored == args[-1]
     return args in rel.tuples
 

@@ -76,23 +76,34 @@ def solve(
     analysis: Optional[AnalysisReport] = None
     if check != "none":
         analysis = analyze_program(program)
+
+        def _diags(*prefixes: str):
+            return [
+                d
+                for d in analysis.diagnostics
+                if d.code.startswith(prefixes)
+            ]
+
         if not analysis.range_restricted:
             bad = [str(r) for r in analysis.safety if not r.ok]
             raise SafetyError(
-                "program is not range-restricted:\n  " + "\n  ".join(bad)
+                "program is not range-restricted:\n  " + "\n  ".join(bad),
+                diagnostics=_diags("MAD1"),
             )
         if check == "strict":
             if not analysis.admissible:
                 bad = [str(c) for c in analysis.components if not c.ok]
                 raise NotAdmissibleError(
                     "program not certified monotonic (use check='lenient' to "
-                    "attempt evaluation anyway):\n  " + "\n  ".join(bad)
+                    "attempt evaluation anyway):\n  " + "\n  ".join(bad),
+                    diagnostics=_diags("MAD3"),
                 )
             if not analysis.conflict_free:
                 raise NotAdmissibleError(
                     "program not certified conflict-free (use check='lenient' "
                     "to rely on the runtime cost-consistency check):\n  "
-                    + str(analysis.conflict)
+                    + str(analysis.conflict),
+                    diagnostics=_diags("MAD2"),
                 )
 
     state = edb.copy() if edb is not None else Interpretation(program.declarations)

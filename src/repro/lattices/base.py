@@ -22,6 +22,7 @@ Conventions
 from __future__ import annotations
 
 import abc
+import math
 from typing import Any, Iterable, Iterator, Optional
 
 
@@ -103,6 +104,25 @@ class Lattice(abc.ABC):
     def comparable(self, a: Any, b: Any) -> bool:
         """True iff ``a`` and ``b`` are related by ⊑ in either direction."""
         return self.leq(a, b) or self.leq(b, a)
+
+    def close(self, a: Any, b: Any) -> bool:
+        """Are ``a`` and ``b`` the same element up to floating-point noise?
+
+        Cost values reached along different derivation orders can differ
+        by an ulp (``(x - δ) + y`` vs ``(x + y) - δ``), which exact ⊑
+        comparisons on real-valued chains misread as a strict ordering.
+        Verification-style checks (pre-modelhood) compare with this
+        predicate alongside :meth:`leq`.  Non-numeric carriers fall back
+        to equality.
+        """
+        if (
+            isinstance(a, (int, float))
+            and isinstance(b, (int, float))
+            and not isinstance(a, bool)
+            and not isinstance(b, bool)
+        ):
+            return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+        return bool(a == b)
 
     def join_all(self, values: Iterable[Any]) -> Any:
         """Least upper bound of an iterable; ``bottom`` for the empty one."""
