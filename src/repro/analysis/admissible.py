@@ -16,7 +16,7 @@ after Proposition 6.1), so it is reported as an admissibility violation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
 from repro.analysis.builtins_mono import check_builtin_monotonicity
 from repro.analysis.violations import Violation
@@ -24,6 +24,7 @@ from repro.analysis.dependencies import Component, condense
 from repro.analysis.wellformed import _is_cdb_aggregate, check_rule_form
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.datalog.spans import Span
 
 
 @dataclass
@@ -38,7 +39,7 @@ class RuleAdmissibility:
         return not self.violations
 
     @property
-    def span(self):
+    def span(self) -> Optional[Span]:
         """Source location of the offending rule (None if built in code)."""
         return self.rule.span
 

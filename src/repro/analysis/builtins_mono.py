@@ -26,13 +26,19 @@ check is *sufficient*, never necessary, exactly like the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.analysis.violations import Violation
 from repro.analysis.wellformed import _is_cdb_aggregate
-from repro.datalog.atoms import AggregateSubgoal, AtomSubgoal, BuiltinSubgoal
+from repro.datalog.atoms import (
+    AggregateSubgoal,
+    Atom,
+    AtomSubgoal,
+    BuiltinSubgoal,
+)
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.datalog.spans import Span
 from repro.datalog.terms import Constant, Expr, Variable, expr_variable_set
 
 
@@ -156,7 +162,7 @@ def _initial_tags(
     tags: Dict[Variable, Tag] = {}
     problems: List[str] = []
 
-    def tag_cost_var(atom, predicate_in_cdb: bool) -> None:
+    def tag_cost_var(atom: Atom, predicate_in_cdb: bool) -> None:
         decl = program.decl(atom.predicate)
         if not decl.is_cost_predicate:
             return
@@ -202,7 +208,7 @@ class BuiltinMonotonicityReport:
         return not self.violations
 
     @property
-    def span(self):
+    def span(self) -> Optional[Span]:
         """Source location of the offending rule (None if built in code)."""
         return self.rule.span
 

@@ -33,7 +33,11 @@ MAD2xx cost consistency (Definitions 2.7, 2.10)
 MAD3xx admissibility / monotonicity (Section 4)
 MAD4xx classification notes (Sections 5–6) — never errors
 MAD5xx program hygiene (not from the paper)
+MAD6xx whole-program lattice type inference (Section 4.2 generalized)
 ====== =====================================================
+
+Diagnostics for mechanical defects carry :class:`~repro.analysis.fixes.Fix`
+objects — span-anchored text edits ``repro lint --fix`` applies.
 """
 
 from __future__ import annotations
@@ -41,24 +45,53 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.admissible import check_program_admissible
 from repro.analysis.conflict import check_conflict_freedom
-from repro.analysis.dependencies import condense
+from repro.analysis.dependencies import Component, condense
 from repro.analysis.fd import check_rule_cost_respecting
+from repro.analysis.fixes import (
+    Fix,
+    body_in_schedule_order,
+    fix_declare_default,
+    fix_delete_declaration,
+    fix_delete_rule,
+    fix_rename_shadowed,
+    fix_reorder_body,
+    fix_restrict_aggregate,
+    is_left_to_right_evaluable,
+)
 from repro.analysis.rmonotonic import check_program_r_monotonic
 from repro.analysis.safety import check_program_safety
 from repro.analysis.termination import (
     TerminationVerdict,
     check_program_termination,
 )
-from repro.datalog.atoms import AggregateSubgoal, AtomSubgoal
+from repro.analysis.typing import infer_types
+from repro.analysis.wellformed import check_well_typed, FormReport
+from repro.datalog.atoms import AggregateSubgoal, Atom, AtomSubgoal
 from repro.datalog.errors import ParseError, ProgramError
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.spans import Span
 from repro.datalog.terms import Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.aggregates.base import AggregateFunction
+    from repro.lattices import Lattice
 
 
 class Severity(enum.IntEnum):
@@ -260,6 +293,46 @@ _RULES = [
         "variable recurs inside the conjuncts — almost certainly not "
         "what was meant.",
     ),
+    LintRule(
+        "MAD507",
+        "unordered-body",
+        Severity.WARNING,
+        "hygiene (Section 3 evaluation)",
+        "The body is not evaluable left-to-right as written (a built-in, "
+        "negated or default subgoal appears before the subgoals that bind "
+        "its variables); the engine reorders it, but the written order "
+        "misleads readers about the join strategy.",
+    ),
+    LintRule(
+        "MAD601",
+        "lattice-conflict",
+        Severity.ERROR,
+        "Section 4.2 (typing discipline), generalized program-wide",
+        "Whole-program type inference assigns one argument position "
+        "incompatible cost lattices via different rules; joins through "
+        "that position compare values from unrelated orders, so no "
+        "monotonicity argument covers the predicate.",
+    ),
+    LintRule(
+        "MAD602",
+        "incompatible-cost-flow",
+        Severity.ERROR,
+        "Section 4.2 (typing discipline), generalized program-wide",
+        "A single rule variable carries values from two incompatible "
+        "cost lattices (e.g. joining a reals_ge column against a "
+        "reals_le column), so the comparison the rule performs is "
+        "between unrelated orders.",
+    ),
+    LintRule(
+        "MAD603",
+        "unrestricted-empty-aggregate",
+        Severity.WARNING,
+        "Section 2.4 (F(∅)), Definition 2.4",
+        "An unrestricted '=' aggregate subgoal applies a function with "
+        "no value on the empty multiset; on empty groups the subgoal is "
+        "undefined where '=r' would simply fail, so the restricted form "
+        "is almost certainly intended.",
+    ),
 ]
 
 #: slug → registry entry.
@@ -281,6 +354,9 @@ class Diagnostic:
     span: Optional[Span] = None
     rule: Optional[str] = None  # rendered rule/program text the span is in
     source: str = "<program>"  # file name or program name
+    #: Machine-applicable repairs (``repro lint --fix``); empty for
+    #: diagnostics that need human judgment.
+    fixes: Tuple[Fix, ...] = ()
 
     @property
     def location(self) -> str:
@@ -310,6 +386,7 @@ class Diagnostic:
             "span": self.span.to_dict() if self.span is not None else None,
             "rule": self.rule,
             "source": self.source,
+            "fixes": [f.to_dict() for f in self.fixes],
         }
 
     def __str__(self) -> str:
@@ -323,8 +400,13 @@ def make_diagnostic(
     span: Optional[Span] = None,
     rule: Optional[Rule] = None,
     severity: Optional[Severity] = None,
+    fixes: Iterable[Optional[Fix]] = (),
 ) -> Diagnostic:
-    """Build a diagnostic from a registry slug (KeyError on unknown slug)."""
+    """Build a diagnostic from a registry slug (KeyError on unknown slug).
+
+    ``fixes`` may contain ``None`` entries (fix constructors return None
+    when the source span is unknown); they are dropped.
+    """
     entry = BY_SLUG[slug]
     return Diagnostic(
         code=entry.code,
@@ -335,6 +417,7 @@ def make_diagnostic(
         why=entry.why,
         span=span if span is not None else (rule.span if rule else None),
         rule=str(rule) if rule is not None else None,
+        fixes=tuple(f for f in fixes if f is not None),
     )
 
 
@@ -347,7 +430,7 @@ def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
     return worst
 
 
-def _sort_key(d: Diagnostic):
+def _sort_key(d: Diagnostic) -> Tuple[int, int, str, str]:
     line = d.span.line if d.span is not None else 1_000_000_000
     column = d.span.column if d.span is not None else 0
     return (line, column, d.code, d.message)
@@ -494,13 +577,48 @@ def _check_admissibility(program: Program) -> Iterator[Diagnostic]:
                     if kind in _ADMISSIBILITY_SLUGS
                     else "inadmissible-aggregate"
                 )
+                fixes: List[Optional[Fix]] = []
+                if kind == "inadmissible-aggregate":
+                    fixes.append(
+                        fix_declare_default(
+                            program,
+                            _defaultable_predicates(
+                                rule_report.rule,
+                                program,
+                                component.component.cdb,
+                            ),
+                        )
+                    )
                 yield make_diagnostic(
                     slug,
                     str(violation),
                     span=getattr(violation, "span", None)
                     or rule_report.span,
                     rule=rule_report.rule,
+                    fixes=fixes,
                 )
+
+
+def _defaultable_predicates(
+    rule: Rule, program: Program, cdb: FrozenSet[str]
+) -> List[str]:
+    """CDB conjunct predicates of the rule's pseudo-monotonic aggregates
+    that lack a default — the ones ``@default`` would make admissible."""
+    out: List[str] = []
+    for sg in rule.aggregate_subgoals():
+        function = program.aggregates.get(sg.function)
+        if function is None or not function.is_pseudo_monotonic:
+            continue
+        for conjunct in sg.conjuncts:
+            decl = program.declarations.get(conjunct.predicate)
+            if (
+                conjunct.predicate in cdb
+                and decl is not None
+                and decl.is_cost_predicate
+                and not decl.has_default
+            ):
+                out.append(conjunct.predicate)
+    return out
 
 
 @lint_check("stratification")
@@ -592,9 +710,12 @@ def _check_unused(program: Program) -> Iterator[Diagnostic]:
     occurring = {atom.predicate for atom in program._occurring_atoms()}
     for name in sorted(program.explicit_declarations):
         if name not in occurring:
+            decl = program.declarations[name]
             yield make_diagnostic(
                 "unused-predicate",
                 f"{name} is declared but never used",
+                span=decl.span,
+                fixes=[fix_delete_declaration(decl)],
             )
 
 
@@ -611,6 +732,7 @@ def _check_duplicates(program: Program) -> Iterator[Diagnostic]:
             "duplicate-rule",
             f"rule is an exact duplicate of an earlier one{where}",
             rule=rule,
+            fixes=[fix_delete_rule(rule)],
         )
 
 
@@ -632,6 +754,7 @@ def _check_shadowing(program: Program) -> Iterator[Diagnostic]:
                     f"it a grouping variable",
                     span=sg.span or rule.span,
                     rule=rule,
+                    fixes=[fix_rename_shadowed(rule, sg, sg.multiset_var)],
                 )
             if isinstance(sg.result, Variable) and sg.result in inner:
                 yield make_diagnostic(
@@ -640,10 +763,85 @@ def _check_shadowing(program: Program) -> Iterator[Diagnostic]:
                     f"occurs inside the aggregate's conjuncts",
                     span=sg.span or rule.span,
                     rule=rule,
+                    fixes=[fix_rename_shadowed(rule, sg, sg.result)],
                 )
 
 
-def _atoms_of_rule(rule: Rule):
+@lint_check("body-order")
+def _check_body_order(program: Program) -> Iterator[Diagnostic]:
+    for rule in program.rules:
+        if rule.is_fact or is_left_to_right_evaluable(rule, program):
+            continue
+        # Only warn when the engine *can* find an order; when none
+        # exists the safety check owns the report.
+        if body_in_schedule_order(rule, program) is None:
+            continue
+        yield make_diagnostic(
+            "unordered-body",
+            "body is not evaluable in its written order (a subgoal "
+            "precedes the subgoals that bind its variables)",
+            rule=rule,
+            fixes=[fix_reorder_body(rule, program)],
+        )
+
+
+@lint_check("empty-aggregates")
+def _check_empty_aggregates(program: Program) -> Iterator[Diagnostic]:
+    for rule in program.rules:
+        for sg in rule.aggregate_subgoals():
+            function = program.aggregates.get(sg.function)
+            if function is None or sg.restricted:
+                continue
+            if not function.has_empty_value:
+                yield make_diagnostic(
+                    "unrestricted-empty-aggregate",
+                    f"{sg.function} has no value on the empty multiset; "
+                    f"use the restricted form "
+                    f"'{sg.result} =r {sg.function}{{...}}'",
+                    span=sg.span or rule.span,
+                    rule=rule,
+                    fixes=[fix_restrict_aggregate(rule, sg)],
+                )
+
+
+@lint_check("lattice-typing")
+def _check_lattice_typing(program: Program) -> Iterator[Diagnostic]:
+    report = infer_types(program)
+    for conflict in report.conflicts:
+        if conflict.kind == "position":
+            yield make_diagnostic(
+                "lattice-conflict",
+                conflict.message(),
+                span=conflict.span,
+            )
+        else:
+            # Variable-level conflicts duplicate the per-rule well-typed
+            # check (MAD302) when that check already fires for the same
+            # rule; only report flows Definition 4.2 cannot see.
+            if conflict.rule_index is not None:
+                rule = program.rules[conflict.rule_index]
+                form = FormReport(rule)
+                try:
+                    check_well_typed(rule, program, form)
+                except ProgramError:
+                    continue
+                if form.type_violations:
+                    continue
+                yield make_diagnostic(
+                    "incompatible-cost-flow",
+                    conflict.message(),
+                    span=conflict.span or rule.span,
+                    rule=rule,
+                )
+            else:
+                yield make_diagnostic(
+                    "incompatible-cost-flow",
+                    conflict.message(),
+                    span=conflict.span,
+                )
+
+
+def _atoms_of_rule(rule: Rule) -> Iterator[Atom]:
     yield rule.head
     for sg in rule.body:
         if isinstance(sg, AtomSubgoal):
@@ -652,7 +850,9 @@ def _atoms_of_rule(rule: Rule):
             yield from sg.conjuncts
 
 
-def _find_component_subgoal(component, *, aggregate: bool):
+def _find_component_subgoal(
+    component: Component, *, aggregate: bool
+) -> Tuple[Optional[Rule], Optional[Union[AggregateSubgoal, AtomSubgoal]]]:
     """The (rule, subgoal) witnessing recursion through aggregation or
     negation inside ``component``, for span attribution."""
     for rule in component.rules:
@@ -746,8 +946,8 @@ def lint_source(
     text: str,
     *,
     name: str = "<string>",
-    lattices=None,
-    aggregates=None,
+    lattices: Optional[Dict[str, "Lattice"]] = None,
+    aggregates: Optional[Dict[str, "AggregateFunction"]] = None,
     linter: Optional[Linter] = None,
 ) -> List[Diagnostic]:
     """Parse rule text (without validating) and lint the result.
@@ -759,7 +959,7 @@ def lint_source(
     """
     from repro.datalog.parser import parse_program
 
-    kwargs = {}
+    kwargs: Dict[str, Any] = {}
     if lattices is not None:
         kwargs["lattices"] = lattices
     if aggregates is not None:
@@ -792,10 +992,12 @@ EXPECTED_CODE_FAMILIES: Dict[str, tuple] = {
     "aggregate_stratified": ("MAD401",),
 }
 
-#: Codes that should never fire for a curated program.
+#: Codes that should never fire for a curated program.  The MAD6xx typing
+#: errors belong here too: the catalog programs are all well-typed, so a
+#: lattice conflict firing on one would be an inference bug.
 HYGIENE_CODES = frozenset(
     ("MAD001", "MAD002", "MAD501", "MAD502", "MAD503", "MAD504", "MAD505",
-     "MAD506")
+     "MAD506", "MAD507", "MAD601", "MAD602", "MAD603")
 )
 
 

@@ -24,6 +24,7 @@ from typing import FrozenSet, List, Set, Tuple
 
 from repro.datalog.atoms import (
     AggregateSubgoal,
+    Atom,
     AtomSubgoal,
     BuiltinSubgoal,
 )
@@ -50,7 +51,7 @@ def rule_functional_dependencies(
     """The FD set of a rule body per Definition 2.7 (plus built-in FDs)."""
     fds: List[FunctionalDependency] = []
 
-    def add_atom_fd(atom) -> None:
+    def add_atom_fd(atom: Atom) -> None:
         decl = program.decl(atom.predicate)
         if not decl.is_cost_predicate:
             return

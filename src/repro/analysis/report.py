@@ -9,7 +9,10 @@
 4. component condensation + per-component admissibility (Definition 4.5)
    — admissible components are monotonic (Lemma 4.1);
 5. classification extras: aggregate-stratified / negation-stratified
-   (Section 5.1) and r-monotonic (Section 5.2).
+   (Section 5.1) and r-monotonic (Section 5.2);
+6. whole-program lattice type inference (:mod:`repro.analysis.typing`)
+   and the per-component verdicts (:mod:`repro.analysis.classify`) that
+   ``method="auto"`` evaluation consults.
 
 The result renders as a readable report and exposes the booleans the
 engine consults (``Database.solve`` refuses non-admissible programs in
@@ -19,12 +22,13 @@ strict mode).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.admissible import (
     ComponentAdmissibility,
     check_program_admissible,
 )
+from repro.analysis.classify import ProgramClassification, classify_program
 from repro.analysis.conflict import ConflictReport, check_conflict_freedom
 from repro.analysis.dependencies import (
     is_aggregate_stratified,
@@ -39,6 +43,7 @@ from repro.analysis.diagnostics import (
 from repro.analysis.fd import CostRespectReport, check_rule_cost_respecting
 from repro.analysis.rmonotonic import is_r_monotonic
 from repro.analysis.safety import SafetyReport, check_program_safety
+from repro.analysis.typing import TypingReport, infer_types
 from repro.datalog.program import Program
 
 
@@ -57,6 +62,10 @@ class AnalysisReport:
     #: Every finding re-expressed as a coded, source-located diagnostic
     #: (see :mod:`repro.analysis.diagnostics`).
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Inferred lattice types per predicate argument position.
+    typing: Optional[TypingReport] = None
+    #: Per-SCC verdicts + recommended evaluation modes.
+    classification: Optional[ProgramClassification] = None
 
     @property
     def range_restricted(self) -> bool:
@@ -102,9 +111,18 @@ class AnalysisReport:
         lines.append(f"  aggregate-stratified:  {self.aggregate_stratified}")
         lines.append(f"  negation-stratified:   {self.negation_stratified}")
         lines.append(f"  r-monotonic (§5.2):    {self.r_monotonic}")
+        if self.typing is not None and self.typing.conflicts:
+            lines.append(
+                f"  lattice-typed:         False "
+                f"({len(self.typing.conflicts)} conflict(s))"
+            )
         lines.append(f"  components ({len(self.components)}):")
         for comp in self.components:
             lines.append("    " + str(comp).replace("\n", "\n    "))
+        if self.classification is not None:
+            lines.append("  classification:")
+            for c in self.classification.components:
+                lines.append("    " + str(c))
         for r in self.safety:
             if not r.ok:
                 lines.append("  " + str(r))
@@ -142,5 +160,9 @@ def analyze_program(
     report.aggregate_stratified = is_aggregate_stratified(program)
     report.negation_stratified = is_negation_stratified(program)
     report.r_monotonic = is_r_monotonic(program)
+    report.typing = infer_types(program)
+    report.classification = classify_program(
+        program, admissibility=report.components, typing=report.typing
+    )
     report.diagnostics = lint_program(program, linter=linter)
     return report

@@ -29,13 +29,14 @@ classifications agree with Section 5.2's verdicts).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.analysis.violations import Violation
 from repro.datalog.atoms import AggregateSubgoal, BuiltinSubgoal
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Variable, expr_variable_set
+from repro.datalog.spans import Span
+from repro.datalog.terms import Expr, Variable, expr_variable_set
 
 
 @dataclass
@@ -50,7 +51,7 @@ class RMonotonicReport:
         return not self.violations
 
     @property
-    def span(self):
+    def span(self) -> Optional[Span]:
         """Source location of the offending rule (None if built in code)."""
         return self.rule.span
 
@@ -140,7 +141,7 @@ def _comparison_growth_safe(
     (conservative).
     """
 
-    def side_ok(expr, must_move: int) -> bool:
+    def side_ok(expr: Expr, must_move: int) -> bool:
         vars_here = expr_variable_set(expr)
         moving = [v for v in vars_here if v in growth]
         if not moving:

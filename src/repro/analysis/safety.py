@@ -14,7 +14,7 @@ all variables V that satisfy one of the following" phrasing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Set
+from typing import FrozenSet, Iterable, List, Optional, Set
 
 from repro.analysis.violations import Violation
 from repro.datalog.atoms import (
@@ -25,8 +25,8 @@ from repro.datalog.atoms import (
 )
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.datalog.spans import Span
 from repro.datalog.terms import (
-    ArithExpr,
     Constant,
     Variable,
     expr_variable_set,
@@ -136,7 +136,7 @@ class SafetyReport:
         return not self.violations
 
     @property
-    def span(self):
+    def span(self) -> Optional[Span]:
         """Source location of the offending rule (None if built in code)."""
         return self.rule.span
 
@@ -153,7 +153,9 @@ def check_rule_safety(rule: Rule, program: Program) -> SafetyReport:
     limited = limited_variables(rule, program)
     quasi = quasi_limited_variables(rule, program, limited)
 
-    def require_limited(variables, where: str, span=None) -> None:
+    def require_limited(
+        variables: Iterable[Variable], where: str, span: Optional[Span] = None
+    ) -> None:
         for v in sorted(variables, key=lambda v: v.name):
             if v not in limited:
                 report.violations.append(
@@ -164,7 +166,9 @@ def check_rule_safety(rule: Rule, program: Program) -> SafetyReport:
                     )
                 )
 
-    def require_quasi(variables, where: str, span=None) -> None:
+    def require_quasi(
+        variables: Iterable[Variable], where: str, span: Optional[Span] = None
+    ) -> None:
         for v in sorted(variables, key=lambda v: v.name):
             if v not in quasi and v not in limited:
                 report.violations.append(

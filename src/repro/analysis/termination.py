@@ -27,14 +27,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.analysis.dependencies import Component, condense
 from repro.datalog.program import Program
 from repro.lattices.base import Lattice
 from repro.lattices.boolean import BooleanAnd, BooleanOr
 from repro.lattices.combinators import FiniteChain, FlatLattice, ProductLattice
-from repro.lattices.numeric import DescendingReals, Naturals, PositiveIntegers
 from repro.lattices.sets import EdgeMultisets, PowersetIntersection, PowersetUnion
 
 

@@ -29,7 +29,7 @@ Well-formed (Definition 4.2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.analysis.violations import Violation
 from repro.datalog.atoms import (
@@ -39,6 +39,7 @@ from repro.datalog.atoms import (
 )
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.datalog.spans import Span
 from repro.datalog.terms import Variable
 
 
@@ -93,7 +94,7 @@ class FormReport:
         return self.well_typed and self.well_formed
 
     @property
-    def span(self):
+    def span(self) -> Optional[Span]:
         return self.rule.span
 
 

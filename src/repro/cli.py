@@ -2,16 +2,23 @@
 
 Usage::
 
-    python -m repro solve program.mad [--facts facts.mad] [--method seminaive]
+    python -m repro solve program.mad [--facts facts.mad] [--method auto]
     python -m repro analyze program.mad
     python -m repro lint program.mad [--format json] [--explain]
+    python -m repro lint program.mad --fix [--diff | --check]
     python -m repro lint --catalog    # gate the built-ins on their verdicts
     python -m repro examples          # list the built-in paper programs
     python -m repro solve --program shortest-path --facts facts.mad
 
 ``lint`` prints coded, source-located diagnostics (``MAD101`` etc., see
 docs/LANGUAGE.md) and exits with the maximum severity found: 0 (clean or
-notes only), 1 (warnings), 2 (errors).
+notes only), 1 (warnings), 2 (errors).  ``lint --fix`` applies the
+machine-applicable repairs attached to mechanical diagnostics in place
+(``--diff`` previews, ``--check`` only reports whether edits would be
+made — for CI).
+
+A lone ``-`` as a file argument reads rule text from stdin (``lint``
+and ``solve``); with ``--fix`` the repaired text goes to stdout.
 
 Rule files use the library's textual syntax (see README); facts files are
 rule files containing only ground facts.  Output is the model, one atom
@@ -29,6 +36,14 @@ from repro.datalog.errors import ReproError
 from repro.programs import ALL_PROGRAMS
 
 
+def _read_source(path: str) -> str:
+    """File contents; a lone ``-`` reads rule text from stdin."""
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
 def _load_database(args: argparse.Namespace) -> Database:
     db = Database(name="cli")
     if args.program:
@@ -40,11 +55,9 @@ def _load_database(args: argparse.Namespace) -> Database:
             )
         db.load(catalog[args.program].source)
     for path in args.files:
-        with open(path, encoding="utf-8") as handle:
-            db.load(handle.read())
+        db.load(_read_source(path))
     if args.facts:
-        with open(args.facts, encoding="utf-8") as handle:
-            db.load(handle.read())
+        db.load(_read_source(args.facts))
     return db
 
 
@@ -73,9 +86,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(result.explain(atom.predicate, key))
         return 0
     _print_model(result, args.query)
+    methods = ""
+    if result.component_methods:
+        methods = f" (methods: {', '.join(result.component_methods)})"
     print(
         f"% {result.total_iterations} T_P iterations over "
-        f"{len(result.components)} components",
+        f"{len(result.components)} components{methods}",
         file=sys.stderr,
     )
     return 0
@@ -113,10 +129,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
             )
         sources.append((args.program, catalog[args.program].source))
     for path in args.files:
-        with open(path, encoding="utf-8") as handle:
-            sources.append((path, handle.read()))
+        sources.append((path, _read_source(path)))
     if not sources:
         raise ReproError("nothing to lint: give files, --program or --catalog")
+
+    if args.fix or args.diff or args.check:
+        if args.program:
+            raise ReproError(
+                "--fix edits files in place; it cannot repair a "
+                "built-in program"
+            )
+        return _lint_fix(args, sources)
 
     diagnostics = []
     for name, text in sources:
@@ -126,6 +149,53 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(diagnostics, explain=args.explain))
     worst = max((d.severity for d in diagnostics), default=Severity.INFO)
+    return int(worst)
+
+
+def _lint_fix(args: argparse.Namespace, sources) -> int:
+    """``lint --fix`` / ``--diff`` / ``--check`` over ``sources``.
+
+    * default: rewrite each file in place (stdin → stdout) and exit with
+      the maximum severity remaining in the *fixed* text;
+    * ``--diff``: print a unified diff instead of writing;
+    * ``--check``: write nothing; exit 1 iff any file would change
+      (the CI fix-point gate).
+    """
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.fixes import fix_text, render_diff
+
+    worst = Severity.INFO
+    would_change = False
+    for name, text in sources:
+        result = fix_text(text, name=name)
+        would_change = would_change or result.changed
+        for d in result.remaining:
+            if d.severity > worst:
+                worst = d.severity
+        if args.check:
+            if result.changed:
+                print(f"{name}: {len(result.applied)} fix(es) available")
+                for title in result.applied:
+                    print(f"    {title}")
+            continue
+        if args.diff:
+            if result.changed:
+                print(render_diff(result, name), end="")
+            continue
+        if result.changed:
+            if name == "-":
+                sys.stdout.write(result.text)
+            else:
+                with open(name, "w", encoding="utf-8") as handle:
+                    handle.write(result.text)
+            print(
+                f"{name}: applied {len(result.applied)} fix(es)",
+                file=sys.stderr,
+            )
+        elif name == "-":
+            sys.stdout.write(result.text)
+    if args.check:
+        return 1 if would_change else 0
     return int(worst)
 
 
@@ -197,8 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(solve)
     solve.add_argument(
         "--method",
-        choices=["naive", "seminaive", "greedy"],
+        choices=["naive", "seminaive", "greedy", "auto"],
         default="naive",
+        help="evaluation mode; 'auto' picks per component from the "
+        "classification pass",
     )
     solve.add_argument(
         "--check",
@@ -246,6 +318,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the violated definition and paper reference to "
         "each finding",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply machine-applicable repairs in place (stdin → stdout)",
+    )
+    lint.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --fix: print a unified diff instead of writing",
+    )
+    lint.add_argument(
+        "--check",
+        action="store_true",
+        help="with --fix: write nothing, exit 1 iff fixes would apply",
     )
     lint.set_defaults(handler=cmd_lint)
 

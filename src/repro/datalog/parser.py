@@ -307,6 +307,7 @@ class Parser:
         )
 
     def parse_declaration(self) -> None:
+        at_token = self.current
         self.expect_punct("@")
         keyword = self.expect_ident().text
         if keyword in ("cost", "default"):
@@ -328,7 +329,13 @@ class Parser:
                 has_default = True
             self.expect_punct(".")
             self.declarations.append(
-                PredicateDecl(predicate, arity_token.value, lattice, has_default)
+                PredicateDecl(
+                    predicate,
+                    arity_token.value,
+                    lattice,
+                    has_default,
+                    span=self.span_from(at_token),
+                )
             )
         elif keyword == "pred":
             predicate = self.expect_ident().text
@@ -339,7 +346,11 @@ class Parser:
             ):
                 raise self.error("expected an integer arity")
             self.expect_punct(".")
-            self.declarations.append(PredicateDecl(predicate, arity_token.value))
+            self.declarations.append(
+                PredicateDecl(
+                    predicate, arity_token.value, span=self.span_from(at_token)
+                )
+            )
         elif keyword == "constraint":
             start = self.current
             body = self.parse_subgoal_list()

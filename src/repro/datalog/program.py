@@ -11,7 +11,7 @@ dependency graph into strongly connected components.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.aggregates.base import AggregateFunction
@@ -19,6 +19,7 @@ from repro.aggregates.standard import default_registry
 from repro.datalog.atoms import AggregateSubgoal, Atom, AtomSubgoal
 from repro.datalog.errors import ProgramError
 from repro.datalog.rules import IntegrityConstraint, Rule
+from repro.datalog.spans import Span
 from repro.lattices.base import Lattice
 
 
@@ -37,6 +38,10 @@ class PredicateDecl:
     arity: int
     lattice: Optional[Lattice] = None
     has_default: bool = False
+    #: Source region of the ``@pred``/``@cost``/``@default`` line, when the
+    #: declaration came from rule text.  Excluded from equality like every
+    #: other AST span.
+    span: Optional[Span] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.arity < 0:

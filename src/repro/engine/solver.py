@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Literal, Optional
 
+from repro.analysis.classify import classify_program
 from repro.analysis.dependencies import Component, condense
 from repro.analysis.report import AnalysisReport, analyze_program
 from repro.datalog.errors import NotAdmissibleError, SafetyError
@@ -33,7 +34,7 @@ from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
 
 CheckPolicy = Literal["strict", "lenient", "none"]
-Method = Literal["naive", "seminaive", "greedy"]
+Method = Literal["naive", "seminaive", "greedy", "auto"]
 
 
 @dataclass
@@ -43,6 +44,10 @@ class SolveResult:
     model: Interpretation
     component_results: List[FixpointResult] = field(default_factory=list)
     components: List[Component] = field(default_factory=list)
+    #: Evaluation mode actually used per component (parallel to
+    #: ``components``) — informative for every method, decisive evidence
+    #: for ``method="auto"``.
+    component_methods: List[str] = field(default_factory=list)
     analysis: Optional[AnalysisReport] = None
 
     #: Set by solve(); used by explain().
@@ -72,7 +77,13 @@ def solve(
     method: Method = "naive",
     max_iterations: int = 100_000,
 ) -> SolveResult:
-    """Compute the iterated minimal model of ``program`` over ``edb``."""
+    """Compute the iterated minimal model of ``program`` over ``edb``.
+
+    ``method="auto"`` picks an evaluation mode *per component* from the
+    classification pass (:mod:`repro.analysis.classify`): greedy for
+    certified-extremal components, semi-naive for the other certified
+    ones, strict naive for anything needing well-founded care.
+    """
     analysis: Optional[AnalysisReport] = None
     if check != "none":
         analysis = analyze_program(program)
@@ -106,20 +117,39 @@ def solve(
                     diagnostics=_diags("MAD2"),
                 )
 
+    auto_methods = {}
+    if method == "auto":
+        classification = (
+            analysis.classification
+            if analysis is not None and analysis.classification is not None
+            else classify_program(program)
+        )
+        auto_methods = {
+            c.component.cdb: c.method for c in classification.components
+        }
+
     state = edb.copy() if edb is not None else Interpretation(program.declarations)
     result = SolveResult(model=state, analysis=analysis, program=program)
     for component in condense(program):
-        if method == "seminaive":
+        chosen = (
+            auto_methods.get(component.cdb, "naive")
+            if method == "auto"
+            else method
+        )
+        if chosen == "seminaive":
+            used = "seminaive"
             fixpoint = seminaive_fixpoint(
                 program, component.cdb, state, max_iterations=max_iterations
             )
-        elif method == "greedy" and greedy_applicable(program, component):
+        elif chosen == "greedy" and greedy_applicable(program, component):
             # Greedy applies to extremal components only; other components
             # of the same program fall through to the naive evaluator.
+            used = "greedy"
             fixpoint = greedy_fixpoint(
                 program, component, state, assume_invariant=True
             )
         else:
+            used = "naive"
             fixpoint = kleene_fixpoint(
                 program,
                 component.cdb,
@@ -129,6 +159,7 @@ def solve(
             )
         state = state.join(fixpoint.interpretation)
         result.components.append(component)
+        result.component_methods.append(used)
         result.component_results.append(fixpoint)
     result.model = state
     return result

@@ -1,6 +1,7 @@
 """Dependency graph, SCC condensation, stratification flags."""
 
 from repro.analysis.dependencies import (
+    DependencyEdge,
     EdgeKind,
     condense,
     dependency_edges,
@@ -26,6 +27,37 @@ class TestEdges:
         program = parse_program("p(X) <- q(X), q(X).")
         edges = dependency_edges(program)
         assert len(edges) == 1
+
+    def test_same_pair_with_different_kinds_kept(self):
+        # p reads q both positively and under negation: two edges.
+        program = parse_program("p(X) <- q(X), e(X), not q(X).")
+        edges = {
+            (e.kind) for e in dependency_edges(program) if e.body == "q"
+        }
+        assert edges == {EdgeKind.POSITIVE, EdgeKind.NEGATIVE}
+
+    def test_edges_attribute_to_head_predicate(self):
+        program = parse_program("a(X) <- e(X).\nb(X) <- e(X).")
+        heads = {e.head for e in dependency_edges(program)}
+        assert heads == {"a", "b"}
+        assert DependencyEdge("a", "e", EdgeKind.POSITIVE) in set(
+            dependency_edges(program)
+        )
+
+    def test_aggregate_conjuncts_all_reported(self):
+        program = parse_program(
+            "t(X, C) <- C = min{D : u(X, W), v(W, D)}."
+        )
+        agg = {
+            e.body
+            for e in dependency_edges(program)
+            if e.kind is EdgeKind.AGGREGATE
+        }
+        assert agg == {"u", "v"}
+
+    def test_facts_contribute_no_edges(self):
+        program = parse_program("p(a).\nq(b).")
+        assert dependency_edges(program) == []
 
 
 class TestCondense:
@@ -80,6 +112,52 @@ class TestCondense:
         program = parse_program("p(X) <- p(X).")
         comp = condense(program)[0]
         assert EdgeKind.POSITIVE in comp.internal_kinds
+
+    def test_aggregate_self_recursion_flagged(self):
+        program = parse_program(
+            "s(X, C) <- C =r min{D : s(X, D)}.\ns(a, 1)."
+        )
+        comp = condense(program)[0]
+        assert comp.recursive_through_aggregation
+        assert "agg-recursive" in str(comp)
+
+    def test_negated_self_loop_flagged(self):
+        program = parse_program("p(X) <- e(X), not p(X).")
+        comp = condense(program)[0]
+        assert comp.recursive_through_negation
+        assert "neg-recursive" in str(comp)
+
+    def test_component_rules_are_exactly_its_head_rules(self):
+        program = parse_program(
+            "p(X) <- q(X).\nq(X) <- p(X).\nr(X) <- p(X).\nr(X) <- e(X)."
+        )
+        components = condense(program)
+        by_cdb = {tuple(sorted(c.cdb)): c for c in components}
+        assert len(by_cdb[("p", "q")].rules) == 2
+        assert len(by_cdb[("r",)].rules) == 2
+        assert by_cdb[("r",)].ldb == {"p", "e"}
+
+    def test_diamond_topological_order(self):
+        # top reads both mids; both mids read base: base first, top last.
+        program = parse_program(
+            "top(X) <- m1(X), m2(X).\n"
+            "m1(X) <- base(X).\nm2(X) <- base(X).\n"
+            "base(X) <- e(X)."
+        )
+        order = [sorted(c.cdb)[0] for c in condense(program)]
+        assert order[0] == "base"
+        assert order[-1] == "top"
+        assert set(order[1:3]) == {"m1", "m2"}
+
+    def test_internal_kinds_exclude_ldb_edges(self):
+        # The negation targets an LDB predicate: the recursive component
+        # is still negation-free internally.
+        program = parse_program(
+            "p(X) <- q(X), not e(X).\nq(X) <- p(X)."
+        )
+        comp = next(c for c in condense(program) if c.cdb == {"p", "q"})
+        assert not comp.recursive_through_negation
+        assert comp.internal_kinds == {EdgeKind.POSITIVE}
 
 
 class TestStratificationFlags:

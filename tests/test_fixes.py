@@ -1,0 +1,236 @@
+"""The fix-it engine: text edits, the --fix driver and the CLI flags."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.diagnostics import Severity, lint_source
+from repro.analysis.fixes import (
+    EditConflictError,
+    TextEdit,
+    apply_edits,
+    fix_text,
+)
+from repro.cli import main
+from repro.datalog.spans import Span
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "lint_corpus"
+
+#: Corpus files whose every actionable diagnostic carries a fix; after
+#: ``--fix`` they must lint clean.
+FIXABLE = [
+    "duplicate_rule.mad",
+    "unused_predicate.mad",
+    "shadowed_multiset.mad",
+    "shadowed_result.mad",
+    "inadmissible_aggregate.mad",
+    "unrestricted_average.mad",
+    "unordered_body.mad",
+]
+
+#: Corpus files with no machine-applicable repair: --fix must leave them
+#: byte-identical (the defect needs human judgment).
+UNFIXABLE = [
+    "lattice_conflict.mad",
+    "incompatible_cost_flow.mad",
+    "ill_typed.mad",
+    "conflict.mad",
+    "unsafe_variable.mad",
+    "syntax_error.mad",
+]
+
+
+def actionable(diagnostics):
+    return [d for d in diagnostics if d.severity > Severity.INFO]
+
+
+class TestApplyEdits:
+    def test_single_replacement(self):
+        text = "abc def\n"
+        edit = TextEdit(Span(1, 5, 1, 7), "xyz")
+        assert apply_edits(text, [edit]) == "abc xyz\n"
+
+    def test_multiline_span(self):
+        text = "one\ntwo\nthree\n"
+        edit = TextEdit(Span(1, 3, 2, 2), "X")
+        assert apply_edits(text, [edit]) == "onXo\nthree\n"
+
+    def test_delete_lines(self):
+        text = "keep\ndrop\nkeep2\n"
+        edit = TextEdit(Span(2, 1, 2, 4), "", delete_lines=True)
+        assert apply_edits(text, [edit]) == "keep\nkeep2\n"
+
+    def test_delete_last_line_without_trailing_newline(self):
+        text = "keep\ndrop"
+        edit = TextEdit(Span(2, 1, 2, 4), "", delete_lines=True)
+        assert apply_edits(text, [edit]) == "keep\n"
+
+    def test_edits_apply_in_descending_order(self):
+        text = "aa bb cc\n"
+        edits = [
+            TextEdit(Span(1, 1, 1, 2), "XX"),
+            TextEdit(Span(1, 7, 1, 8), "YY"),
+        ]
+        assert apply_edits(text, edits) == "XX bb YY\n"
+
+    def test_overlap_rejected(self):
+        text = "abcdef\n"
+        edits = [
+            TextEdit(Span(1, 1, 1, 4), "x"),
+            TextEdit(Span(1, 3, 1, 6), "y"),
+        ]
+        with pytest.raises(EditConflictError):
+            apply_edits(text, edits)
+
+
+class TestFixText:
+    @pytest.mark.parametrize("name", FIXABLE)
+    def test_fixable_corpus_repairs_to_clean(self, name):
+        text = (CORPUS_DIR / name).read_text(encoding="utf-8")
+        result = fix_text(text, name=name)
+        assert result.changed
+        assert result.applied
+        assert actionable(result.remaining) == [], [
+            d.format() for d in result.remaining
+        ]
+
+    @pytest.mark.parametrize("name", FIXABLE)
+    def test_fixing_is_idempotent(self, name):
+        text = (CORPUS_DIR / name).read_text(encoding="utf-8")
+        once = fix_text(text, name=name)
+        twice = fix_text(once.text, name=name)
+        assert not twice.changed
+        assert twice.applied == []
+
+    @pytest.mark.parametrize("name", UNFIXABLE)
+    def test_unfixable_corpus_untouched(self, name):
+        text = (CORPUS_DIR / name).read_text(encoding="utf-8")
+        result = fix_text(text, name=name)
+        assert not result.changed
+        # The defect is still reported, not silently swallowed.
+        assert actionable(result.remaining)
+
+    def test_clean_text_untouched(self):
+        result = fix_text("p(a).\nq(X) <- p(X).\n")
+        assert not result.changed
+        assert result.rounds == 0
+
+    def test_fix_restores_expected_semantics(self):
+        # The restricted form must actually change the aggregate symbol.
+        text = (CORPUS_DIR / "unrestricted_average.mad").read_text(
+            encoding="utf-8"
+        )
+        result = fix_text(text)
+        assert "=r average" in result.text
+        # and the rewrite keeps the program parseable (no MAD001).
+        assert all(d.code != "MAD001" for d in result.remaining)
+
+    def test_multiple_defects_fixed_across_rounds(self):
+        text = (
+            "@pred ghost/1.\n"
+            "@pred p/1.\n"
+            "@pred q/1.\n"
+            "q(a).\n"
+            "p(X) <- q(X).\n"
+            "p(X) <- q(X).\n"
+        )
+        result = fix_text(text, name="multi.mad")
+        assert actionable(result.remaining) == []
+        assert "ghost" not in result.text
+        assert result.text.count("p(X) <- q(X).") == 1
+
+
+class TestCliFix:
+    def _copy(self, tmp_path, name):
+        target = tmp_path / name
+        target.write_text(
+            (CORPUS_DIR / name).read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        return target
+
+    def test_fix_writes_in_place(self, tmp_path, capsys):
+        target = self._copy(tmp_path, "duplicate_rule.mad")
+        assert main(["lint", str(target), "--fix"]) == 0
+        fixed = target.read_text(encoding="utf-8")
+        assert fixed.count("p(X) <- q(X).") == 1
+        assert actionable(lint_source(fixed)) == []
+        capsys.readouterr()
+
+    def test_check_exit_code_iff_changes(self, tmp_path, capsys):
+        target = self._copy(tmp_path, "duplicate_rule.mad")
+        before = target.read_text(encoding="utf-8")
+        assert main(["lint", str(target), "--fix", "--check"]) == 1
+        # --check must not write.
+        assert target.read_text(encoding="utf-8") == before
+        assert main(["lint", str(target), "--fix"]) == 0
+        assert main(["lint", str(target), "--fix", "--check"]) == 0
+        capsys.readouterr()
+
+    def test_check_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.mad"
+        target.write_text("p(a).\n", encoding="utf-8")
+        assert main(["lint", str(target), "--fix", "--check"]) == 0
+        capsys.readouterr()
+
+    def test_diff_previews_without_writing(self, tmp_path, capsys):
+        target = self._copy(tmp_path, "duplicate_rule.mad")
+        before = target.read_text(encoding="utf-8")
+        main(["lint", str(target), "--fix", "--diff"])
+        out = capsys.readouterr().out
+        assert "-p(X) <- q(X)." in out
+        assert target.read_text(encoding="utf-8") == before
+
+    def test_fix_exit_reflects_remaining_severity(self, tmp_path, capsys):
+        # An unfixable error stays an error after --fix.
+        target = self._copy(tmp_path, "unsafe_variable.mad")
+        assert main(["lint", str(target), "--fix"]) == 2
+        capsys.readouterr()
+
+    def test_fix_rejects_builtin_programs(self, capsys):
+        assert main(["lint", "--program", "shortest-path", "--fix"]) == 2
+        assert "built-in" in capsys.readouterr().err
+
+    def test_fixes_serialized_in_json(self, tmp_path, capsys):
+        target = self._copy(tmp_path, "duplicate_rule.mad")
+        main(["lint", str(target), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        dup = next(
+            d
+            for d in payload["diagnostics"]
+            if d["code"] == "MAD505"
+        )
+        assert dup["fixes"]
+        assert dup["fixes"][0]["edits"][0]["delete_lines"] is True
+
+
+class TestCliStdin:
+    def test_lint_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("p(X, Y) <- q(X).\nq(a).\n")
+        )
+        assert main(["lint", "-"]) == 2
+        assert "MAD101" in capsys.readouterr().out
+
+    def test_fix_stdin_to_stdout(self, capsys, monkeypatch):
+        import io
+
+        text = (CORPUS_DIR / "duplicate_rule.mad").read_text(
+            encoding="utf-8"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        assert main(["lint", "-", "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("p(X) <- q(X).") == 1
+
+    def test_solve_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("p(a).\nq(X) <- p(X).\n")
+        )
+        assert main(["solve", "-"]) == 0
+        assert "q('a')" in capsys.readouterr().out

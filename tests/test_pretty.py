@@ -1,10 +1,17 @@
 """Pretty-printer ↔ parser round trips across the whole catalog."""
 
-import pytest
+import pathlib
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.errors import ParseError, ProgramError
 from repro.datalog.parser import parse_program, parse_rule
 from repro.datalog.pretty import program_to_text
 from repro.programs import ALL_PROGRAMS
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "lint_corpus"
 
 
 @pytest.mark.parametrize("paper_program", ALL_PROGRAMS, ids=lambda p: p.name)
@@ -42,3 +49,86 @@ def test_double_round_trip_is_fixed_point():
     once = program_to_text(program)
     twice = program_to_text(parse_program(once))
     assert once.splitlines()[1:] == twice.splitlines()[1:]  # modulo name line
+
+
+def _parseable_corpus_files():
+    """Corpus files the parser accepts (the rest exist to exercise
+    MAD001/MAD002 and cannot round-trip by construction)."""
+    names = []
+    for path in sorted(CORPUS_DIR.glob("*.mad")):
+        try:
+            parse_program(path.read_text(encoding="utf-8"))
+        except (ParseError, ProgramError):
+            continue
+        names.append(path.name)
+    return names
+
+
+@pytest.mark.parametrize("name", _parseable_corpus_files())
+def test_lint_corpus_round_trips(name):
+    original = parse_program((CORPUS_DIR / name).read_text(encoding="utf-8"))
+    reparsed = parse_program(program_to_text(original))
+    assert reparsed.rules == original.rules
+    assert reparsed.constraints == original.constraints
+    for pred, decl in original.declarations.items():
+        again = reparsed.declarations[pred]
+        assert again.arity == decl.arity
+        assert again.lattice == decl.lattice
+        assert again.has_default == decl.has_default
+
+
+# --- property-based round trips -------------------------------------------
+#
+# Random rules drawn from a small fixed vocabulary (so generated text is
+# always inside the grammar: no reserved words, consistent arities are not
+# required for parsing).
+
+#: Fixed arities keep random programs consistent with the arity check
+#: that ``Program.__init__`` enforces.
+_SIGNATURES = {"p": 1, "q": 2, "r": 3, "edge": 2, "c0st": 1}
+_PREDICATES = st.sampled_from(sorted(_SIGNATURES))
+_VARIABLES = st.sampled_from(["X", "Y", "Z", "C", "D_1"])
+_CONSTANTS = st.one_of(
+    st.sampled_from(["a", "b", "node_1"]),
+    st.integers(min_value=-99, max_value=99).map(str),
+)
+_TERMS = st.one_of(_VARIABLES, _CONSTANTS)
+
+
+@st.composite
+def _atoms(draw):
+    name = draw(_PREDICATES)
+    terms = draw(
+        st.lists(
+            _TERMS, min_size=_SIGNATURES[name], max_size=_SIGNATURES[name]
+        )
+    )
+    return f"{name}({', '.join(terms)})"
+
+
+@st.composite
+def _rule_texts(draw):
+    head = draw(_atoms())
+    body = draw(st.lists(_atoms(), min_size=0, max_size=3))
+    if not body:
+        return f"{head}."
+    rendered = []
+    for i, atom in enumerate(body):
+        negate = i > 0 and draw(st.booleans())
+        rendered.append(f"not {atom}" if negate else atom)
+    return f"{head} <- {', '.join(rendered)}."
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rule_texts())
+def test_random_rules_round_trip(text):
+    rule = parse_rule(text)
+    assert parse_rule(str(rule)) == rule
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_rule_texts(), min_size=1, max_size=6))
+def test_random_programs_round_trip(rule_texts):
+    original = parse_program("\n".join(rule_texts))
+    reparsed = parse_program(program_to_text(original))
+    assert reparsed.rules == original.rules

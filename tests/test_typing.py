@@ -1,0 +1,206 @@
+"""Whole-program lattice type inference (repro.analysis.typing)."""
+
+from repro.analysis.typing import (
+    CONFLICT,
+    ORDINARY,
+    UNKNOWN,
+    ArgType,
+    TypeLevel,
+    infer_types,
+    join,
+    lattice_kind,
+)
+from repro.datalog.parser import parse_program
+from repro.lattices import BOOL_LE, REALS_GE, REALS_LE
+from repro.lattices.divisibility import Divisibility
+from repro.programs import ALL_PROGRAMS
+
+import pytest
+
+
+def lattice_type(lattice) -> ArgType:
+    return ArgType(TypeLevel.LATTICE, lattice)
+
+
+class TestJoin:
+    def test_unknown_is_identity(self):
+        t = lattice_type(REALS_GE)
+        assert join(UNKNOWN, t) == t
+        assert join(t, UNKNOWN) == t
+
+    def test_ordinary_absorbs_into_lattice(self):
+        t = lattice_type(REALS_GE)
+        assert join(ORDINARY, t).level is TypeLevel.LATTICE
+        assert join(t, ORDINARY).lattice is REALS_GE
+
+    def test_incompatible_lattices_conflict(self):
+        a = lattice_type(REALS_GE)
+        b = lattice_type(REALS_LE)
+        joined = join(a, b)
+        assert joined.level is TypeLevel.CONFLICT
+
+    def test_same_lattice_is_idempotent(self):
+        a = lattice_type(REALS_GE)
+        assert join(a, a).lattice is REALS_GE
+
+    def test_conflict_is_absorbing(self):
+        assert join(CONFLICT, lattice_type(REALS_GE)).level is (
+            TypeLevel.CONFLICT
+        )
+        assert join(CONFLICT, ORDINARY).level is TypeLevel.CONFLICT
+
+    def test_join_is_commutative_on_samples(self):
+        samples = [
+            UNKNOWN,
+            ORDINARY,
+            lattice_type(REALS_GE),
+            lattice_type(REALS_LE),
+            CONFLICT,
+        ]
+        for a in samples:
+            for b in samples:
+                assert join(a, b).level == join(b, a).level
+                assert join(a, b).lattice == join(b, a).lattice
+
+
+class TestLatticeKind:
+    def test_kinds(self):
+        assert lattice_kind(REALS_GE) == "numeric"
+        assert lattice_kind(REALS_LE) == "numeric"
+        assert lattice_kind(BOOL_LE) == "boolean"
+        assert lattice_kind(Divisibility()) == "divisibility"
+
+
+class TestInference:
+    def test_cost_declaration_types_last_position(self):
+        report = infer_types(
+            parse_program("@cost p/2 : reals_ge.\np(a, 1).")
+        )
+        sig = report.positions["p"]
+        assert sig[0].level is TypeLevel.ORDINARY
+        assert sig[1].level is TypeLevel.LATTICE
+        assert sig[1].lattice is REALS_GE
+
+    def test_flow_through_rules(self):
+        # q's second position is undeclared but fed from p's cost column.
+        report = infer_types(
+            parse_program(
+                "@cost p/2 : reals_ge.\np(a, 1).\nq(X, C) <- p(X, C)."
+            )
+        )
+        sig = report.positions["q"]
+        assert sig[1].level is TypeLevel.LATTICE
+        assert sig[1].lattice is REALS_GE
+        assert report.ok
+
+    def test_aggregate_seeds_result_and_multiset(self):
+        report = infer_types(
+            parse_program(
+                "@cost t/2 : reals_ge.\nt(a, 1).\n"
+                "s(X, C) <- C =r min{D : t(X, D)}."
+            )
+        )
+        sig = report.positions["s"]
+        assert sig[1].lattice is REALS_GE  # min's range
+
+    def test_position_conflict_reported(self):
+        report = infer_types(
+            parse_program(
+                "@cost lo/2 : reals_ge.\n@cost hi/2 : reals_le.\n"
+                "lo(a, 1).\nhi(a, 2).\n"
+                "pick(X, C) <- lo(X, C).\npick(X, C) <- hi(X, C)."
+            )
+        )
+        assert not report.ok
+        kinds = {c.kind for c in report.conflicts}
+        assert "position" in kinds
+        subjects = {c.subject for c in report.conflicts}
+        assert "argument 2 of pick" in subjects
+
+    def test_variable_conflict_reported_with_rule(self):
+        report = infer_types(
+            parse_program(
+                "@cost a/2 : reals_ge.\n@cost b/2 : reals_le.\n"
+                "a(x, 1).\nb(x, 1).\nsame(X) <- a(X, C), b(X, C)."
+            )
+        )
+        assert not report.ok
+        conflict = next(c for c in report.conflicts if c.kind == "variable")
+        assert conflict.rule_index is not None
+        assert "variable C" in conflict.subject
+        names = conflict.lattice_names
+        assert {"reals_ge", "reals_le"} <= set(names)
+
+    def test_conflicts_carry_witnesses(self):
+        report = infer_types(
+            parse_program(
+                "@cost a/2 : reals_ge.\n@cost b/2 : reals_le.\n"
+                "a(x, 1).\nb(x, 1).\nsame(X) <- a(X, C), b(X, C)."
+            )
+        )
+        conflict = report.conflicts[0]
+        message = conflict.message()
+        assert "reals_ge" in message and "reals_le" in message
+
+    def test_conflicts_do_not_cascade(self):
+        # r reads the conflicted pick column; pick is reported once, and
+        # the poisoned cell is not propagated into r as a second conflict.
+        report = infer_types(
+            parse_program(
+                "@cost lo/2 : reals_ge.\n@cost hi/2 : reals_le.\n"
+                "lo(a, 1).\nhi(a, 2).\n"
+                "pick(X, C) <- lo(X, C).\npick(X, C) <- hi(X, C).\n"
+                "r(X, C) <- pick(X, C)."
+            )
+        )
+        subjects = [c.subject for c in report.conflicts]
+        assert subjects.count("argument 2 of pick") == 1
+        assert not any("of r" in s for s in subjects)
+
+    def test_explicit_ordinary_declaration_is_immutable(self):
+        # idx is @pred: reading a lattice value through it does not turn
+        # its position into a lattice position.
+        report = infer_types(
+            parse_program(
+                "@cost p/2 : reals_ge.\n@pred idx/1.\n"
+                "p(a, 1).\nidx(1).\n"
+                "q(X) <- p(X, C), idx(C)."
+            )
+        )
+        assert report.positions["idx"][0].level is TypeLevel.ORDINARY
+        assert report.ok
+
+    def test_signature_rendering(self):
+        report = infer_types(
+            parse_program("@cost p/2 : reals_ge.\np(a, 1).")
+        )
+        assert report.signature("p") == "p(ordinary, numeric:reals_ge)"
+        assert "p(ordinary, numeric:reals_ge)" in str(report)
+
+    def test_equality_groups_unify(self):
+        report = infer_types(
+            parse_program(
+                "@cost p/2 : reals_ge.\np(a, 1).\n"
+                "q(X, D) <- p(X, C), D = C."
+            )
+        )
+        assert report.positions["q"][1].lattice is REALS_GE
+
+    def test_comparisons_do_not_unify(self):
+        report = infer_types(
+            parse_program(
+                "@cost p/2 : reals_ge.\n@cost r/2 : reals_le.\n"
+                "p(a, 1).\nr(a, 2).\n"
+                "q(X) <- p(X, C), r(X, D), C < D."
+            )
+        )
+        # C and D stay at their own lattices; < imposes no unification.
+        assert report.ok
+
+
+@pytest.mark.parametrize(
+    "paper_program", ALL_PROGRAMS, ids=lambda p: p.name
+)
+def test_catalog_programs_are_conflict_free(paper_program):
+    report = infer_types(paper_program.database().program)
+    assert report.ok, [c.message() for c in report.conflicts]
