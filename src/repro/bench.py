@@ -1,0 +1,236 @@
+"""Headless benchmark suite: ``repro bench``.
+
+Runs the paper's scaling workloads (the same generators the
+``benchmarks/`` experiment suite uses) at fixed sizes and fixed seeds,
+and writes a machine-readable report: per-workload wall time, fixpoint
+rounds, derived-atom counts, and the persistent-index layer's counters
+(:data:`repro.engine.interpretation.INDEX_STATS`).
+
+The committed ``BENCH_3.json`` / ``BENCH_3_quick.json`` reports double as
+regression baselines: ``repro bench --quick --compare BENCH_3_quick.json``
+re-runs the quick sizes and fails when any workload got more than
+``--tolerance`` times slower (the CI ``bench-smoke`` gate) or derives a
+different model size.  See docs/PERFORMANCE.md for the methodology.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine.interpretation import INDEX_STATS
+
+#: Report format version, bumped on schema changes.
+FORMAT_VERSION = 1
+
+#: Default ``--compare`` failure threshold: committed baseline × factor.
+DEFAULT_TOLERANCE = 3.0
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark workload: a named, size-parameterised solve."""
+
+    name: str
+    method: str
+    size: int
+    quick_size: int
+    #: size -> zero-argument solve callable (building the database is part
+    #: of the setup, not the timed region).
+    setup: Callable[[int], Callable[[str], Any]]
+
+
+def _make_shortest_path(method: str) -> Callable[[int], Callable[[str], Any]]:
+    from repro.programs import shortest_path
+    from repro.workloads import random_digraph
+
+    def setup(size: int) -> Callable[[str], Any]:
+        arcs = random_digraph(size, seed=size)
+
+        def run(plan: str) -> Any:
+            db = shortest_path.database({"arc": arcs})
+            return db.solve(method=method, plan=plan)
+
+        return run
+
+    return setup
+
+
+def _company_control(size: int) -> Callable[[str], Any]:
+    from repro.programs import company_control
+    from repro.workloads import random_ownership
+
+    shares = random_ownership(size, seed=size, chain_length=min(6, size - 1))
+
+    def run(plan: str) -> Any:
+        db = company_control.database({"s": shares})
+        return db.solve(method="seminaive", plan=plan)
+
+    return run
+
+
+def _party(size: int) -> Callable[[str], Any]:
+    from repro.programs import party_invitations
+    from repro.workloads import random_party
+
+    knows, requires = random_party(size, seed=size)
+
+    def run(plan: str) -> Any:
+        db = party_invitations.database(
+            {"knows": knows, "requires": list(requires.items())}
+        )
+        return db.solve(plan=plan)
+
+    return run
+
+
+def _circuit(size: int) -> Callable[[str], Any]:
+    from repro.programs import circuit
+    from repro.workloads import random_circuit
+
+    inst = random_circuit(size, seed=size)
+
+    def run(plan: str) -> Any:
+        db = circuit.database(
+            {
+                "gate": inst.gates,
+                "connect": inst.connects,
+                "input": inst.inputs,
+            }
+        )
+        return db.solve(plan=plan)
+
+    return run
+
+
+WORKLOADS: List[Workload] = [
+    Workload(
+        "shortest_path", "seminaive", 64, 16, _make_shortest_path("seminaive")
+    ),
+    Workload(
+        "shortest_path_greedy", "greedy", 64, 16, _make_shortest_path("greedy")
+    ),
+    Workload("company_control", "seminaive", 160, 12, _company_control),
+    Workload("party", "naive", 192, 24, _party),
+    Workload("circuit", "naive", 48, 16, _circuit),
+]
+
+
+def run_workload(
+    workload: Workload,
+    *,
+    quick: bool = False,
+    plan: str = "smart",
+    repeat: int = 3,
+) -> Dict[str, Any]:
+    """Best-of-``repeat`` measurement of one workload."""
+    size = workload.quick_size if quick else workload.size
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeat)):
+        solve = workload.setup(size)
+        INDEX_STATS.reset()
+        t0 = time.perf_counter()
+        result = solve(plan)
+        wall = time.perf_counter() - t0
+        record = {
+            "size": size,
+            "method": workload.method,
+            "wall_s": round(wall, 4),
+            "rounds": result.total_iterations,
+            "atoms": result.model.total_size(),
+            "index_stats": INDEX_STATS.snapshot(),
+        }
+        if best is None or record["wall_s"] < best["wall_s"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def run_suite(
+    *,
+    quick: bool = False,
+    plan: str = "smart",
+    repeat: int = 3,
+    only: Optional[List[str]] = None,
+    progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Run the (selected) workloads and return the report dict."""
+    names = {w.name for w in WORKLOADS}
+    if only:
+        unknown = sorted(set(only) - names)
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(names))}"
+            )
+    report: Dict[str, Any] = {
+        "suite": "repro-bench",
+        "version": FORMAT_VERSION,
+        "quick": quick,
+        "plan": plan,
+        "workloads": {},
+    }
+    for workload in WORKLOADS:
+        if only and workload.name not in only:
+            continue
+        record = run_workload(workload, quick=quick, plan=plan, repeat=repeat)
+        report["workloads"][workload.name] = record
+        if progress is not None:
+            progress(workload.name, record)
+    return report
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    A workload fails when it got more than ``tolerance`` × slower, or
+    when it derived a different atom count at the same size (a changed
+    model is a correctness bug, not noise).  Workloads measured at
+    different sizes, or present on one side only, are skipped.
+    """
+    problems: List[str] = []
+    compared = 0
+    base_workloads = baseline.get("workloads", {})
+    for name, record in current.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None or base.get("size") != record.get("size"):
+            continue
+        compared += 1
+        if base.get("atoms") != record.get("atoms"):
+            problems.append(
+                f"{name}: derived {record.get('atoms')} atoms, baseline "
+                f"derived {base.get('atoms')} (model changed!)"
+            )
+        base_wall = float(base.get("wall_s", 0.0))
+        wall = float(record.get("wall_s", 0.0))
+        # Guard tiny denominators: sub-millisecond baselines are all noise.
+        floor = max(base_wall, 1e-3)
+        if wall > tolerance * floor:
+            problems.append(
+                f"{name}: {wall:.4f}s vs baseline {base_wall:.4f}s "
+                f"(> {tolerance:g}x slower)"
+            )
+    if compared == 0:
+        problems.append(
+            "no comparable workloads (size/name mismatch between baseline "
+            "and current run)"
+        )
+    return problems
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

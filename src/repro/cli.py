@@ -77,6 +77,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         check=args.check,
         method=args.method,
         max_iterations=args.max_iterations,
+        plan=args.plan,
     )
     if args.explain:
         from repro.datalog.parser import parse_atom_text
@@ -245,6 +246,54 @@ def cmd_examples(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_reports,
+        load_report,
+        run_suite,
+        write_report,
+    )
+
+    def progress(name: str, record) -> None:
+        stats = record["index_stats"]
+        print(
+            f"{name:24s} n={record['size']:<4d} {record['wall_s']:8.4f}s  "
+            f"rounds={record['rounds']:<6d} atoms={record['atoms']:<7d} "
+            f"idx hit/miss={stats['hits']}/{stats['misses']}",
+            file=sys.stderr,
+        )
+
+    try:
+        report = run_suite(
+            quick=args.quick,
+            plan=args.plan,
+            repeat=args.repeat,
+            only=args.workload or None,
+            progress=progress,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        import json as _json
+
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    if args.compare:
+        problems = compare_reports(
+            load_report(args.compare), report, tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"within {args.tolerance:g}x of {args.compare}", file=sys.stderr
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -278,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="strict",
     )
     solve.add_argument("--max-iterations", type=int, default=100_000)
+    solve.add_argument(
+        "--plan",
+        choices=["smart", "off"],
+        default="smart",
+        help="join-ordering mode of the compiled executor; 'off' keeps "
+        "the legacy schedule order",
+    )
     solve.add_argument("--query", help="print only this predicate")
     solve.add_argument(
         "--explain",
@@ -338,6 +394,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     examples = sub.add_parser("examples", help="list built-in paper programs")
     examples.set_defaults(handler=cmd_examples)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the tracked scaling workloads headlessly and write a "
+        "machine-readable report (see docs/PERFORMANCE.md)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs",
+    )
+    bench.add_argument(
+        "--plan", choices=["smart", "off"], default="smart"
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="take the best of N runs per workload (default 3)",
+    )
+    bench.add_argument(
+        "--workload",
+        action="append",
+        help="run only this workload (repeatable)",
+    )
+    bench.add_argument(
+        "--out", help="write the JSON report here instead of stdout"
+    )
+    bench.add_argument(
+        "--compare",
+        help="fail (exit 1) when a workload regresses past --tolerance "
+        "times this baseline report, or derives a different model",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="slowdown factor tolerated by --compare (default 3.0)",
+    )
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

@@ -235,6 +235,7 @@ class Database:
         check: CheckPolicy = "strict",
         method: Method = "naive",
         max_iterations: int = 100_000,
+        plan: str = "smart",
     ) -> SolveResult:
         """Compute the iterated minimal model (Section 6.3)."""
         result = solve(
@@ -243,6 +244,7 @@ class Database:
             check=check,
             method=method,
             max_iterations=max_iterations,
+            plan=plan,
         )
         self.last_result = result
         return result

@@ -21,6 +21,14 @@ class Variable:
 
     name: str
 
+    def __post_init__(self) -> None:
+        # Variables are hashed millions of times per fixpoint (bindings
+        # dicts, seed fingerprints); precompute the hash once.
+        object.__setattr__(self, "_hash", hash((Variable, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return self.name
 

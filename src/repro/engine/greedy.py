@@ -32,7 +32,8 @@ from typing import Any, FrozenSet, List, Optional, Tuple
 from repro.analysis.dependencies import Component
 from repro.datalog.errors import ReproError
 from repro.datalog.program import Program
-from repro.engine.grounding import EvalContext, evaluate_body, ground_head
+from repro.engine.exec import run_rule
+from repro.engine.grounding import EvalContext
 from repro.engine.interpretation import Interpretation
 from repro.engine.naive import FixpointResult
 from repro.engine.seminaive import DeltaRows, _delta_seeds
@@ -69,6 +70,7 @@ def greedy_fixpoint(
     *,
     assume_invariant: bool = False,
     max_pops: int = 10_000_000,
+    plan: str = "smart",
 ) -> FixpointResult:
     """Priority-queue fixpoint of one extremal component."""
     direction = greedy_applicable(program, component)
@@ -100,7 +102,7 @@ def greedy_fixpoint(
         heapq.heappush(heap, (heap_key, next(counter), predicate, args))
 
     # Seed: one full application against the empty J.
-    seed = apply_tp(program, cdb, j, i, rules=rules, strict=False)
+    seed = apply_tp(program, cdb, j, i, rules=rules, strict=False, plan=plan)
     for name, rel in seed.relations.items():
         for key, value in rel.costs.items():
             push(name, key + (value,))
@@ -118,14 +120,16 @@ def greedy_fixpoint(
         if existing is not None:
             # Settled already; by the invariant the settled value is final.
             continue
-        rel.costs[key] = value
-        ctx.note_insert(predicate, args)
+        # set_cost keeps the persistent indexes on ``rel`` consistent, so
+        # the long-lived context sees the settled atom immediately.
+        rel.set_cost(key, value, strict=False)
         settled_count += 1
         delta: DeltaRows = {predicate: [args]}
         for rule in rules:
             for seed_bindings in _delta_seeds(rule, cdb, delta):
-                for bindings in evaluate_body(rule, ctx, initial=seed_bindings):
-                    head_pred, head_args = ground_head(rule, bindings)
+                for head_pred, head_args in run_rule(
+                    rule, ctx, seed=seed_bindings, mode=plan
+                ):
                     head_rel = j.relation(head_pred)
                     if head_args[:-1] in head_rel.costs:
                         continue

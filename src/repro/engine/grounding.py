@@ -41,11 +41,13 @@ Bindings = Dict[Variable, Any]
 
 
 class EvalContext:
-    """Predicate lookup (CDB → J, everything else → I) plus index caching.
+    """Predicate lookup (CDB → J, everything else → I).
 
-    One context is built per ``T_P`` application; the relations it reads
-    must not mutate while it lives (the engine writes derivations into a
-    *separate* output interpretation).
+    Indexes are owned by the relations themselves
+    (:class:`~repro.engine.interpretation.Relation`): they are built on
+    first lookup and maintained in place by the relation's mutator
+    methods, so they survive across ``T_P`` applications and semi-naive
+    rounds — a context is just the predicate→relation routing table.
 
     ``negation_source`` and ``aggregate_source`` optionally redirect
     negated subgoals and aggregate interiors to a *fixed oracle*
@@ -71,9 +73,6 @@ class EvalContext:
         self.i = i
         self.negation_source = negation_source
         self.aggregate_source = aggregate_source
-        self._indexes: Dict[
-            Tuple[str, Tuple[int, ...], int], Dict[Key, List[Tuple]]
-        ] = {}
 
     def relation(
         self, predicate: str, *, mode: str = "positive"
@@ -96,39 +95,90 @@ class EvalContext:
         mode: str = "positive",
     ) -> Sequence[Tuple]:
         """Rows of ``predicate`` whose ``bound_positions`` equal
-        ``bound_values`` — via an on-demand hash index."""
+        ``bound_values`` — via the relation's persistent hash index."""
         rel = self.relation(predicate, mode=mode)
         if not bound_positions:
-            return list(rel.rows())
-        mode_tag = {"positive": 0, "negated": 1, "aggregate": 2}[mode]
-        cache_key = (predicate, bound_positions, mode_tag)
-        index = self._indexes.get(cache_key)
-        if index is None:
-            index = {}
-            for row in rel.rows():
-                k = tuple(row[p] for p in bound_positions)
-                index.setdefault(k, []).append(row)
-            self._indexes[cache_key] = index
-        return index.get(bound_values, ())
+            return rel.rows_list()
+        return rel.lookup(bound_positions, bound_values)
 
     def note_insert(self, predicate: str, row: Tuple) -> None:
-        """Keep cached indexes consistent after an in-place insert.
+        """Deprecated no-op, kept for API compatibility.
 
-        The greedy evaluator mutates ``J`` while a context lives; it calls
-        this for every inserted/updated row so lazily built indexes stay in
-        sync with the relation.  ``old_row``-style removals are not needed:
-        greedy settles each key exactly once.
+        Indexes live on the relations and are maintained by the mutator
+        methods (``add_tuple``/``set_cost``), so in-place inserts no
+        longer need a context notification.
         """
-        for (pred, positions, _mode), index in self._indexes.items():
-            if pred != predicate:
-                continue
-            k = tuple(row[p] for p in positions)
-            index.setdefault(k, []).append(row)
 
 
 # ---------------------------------------------------------------------------
 # Scheduling
 # ---------------------------------------------------------------------------
+
+
+def subgoal_readiness(
+    sg: Subgoal, rule: Rule, program: Program, bound: set
+) -> Optional[Tuple[int, set]]:
+    """(priority, newly_bound) if ``sg`` is evaluable under ``bound``, else
+    None.  Shared by :func:`schedule` and the selectivity-aware planner
+    (:mod:`repro.engine.exec`), which must agree on *readiness* even when
+    they rank ready subgoals differently."""
+    if isinstance(sg, AtomSubgoal):
+        decl = program.decl(sg.atom.predicate)
+        atom_vars = set(sg.atom.variables())
+        if sg.negated:
+            if atom_vars <= bound:
+                return (3, set())
+            return None
+        if decl.has_default:
+            key_vars = {
+                a
+                for a in sg.atom.args[: decl.key_arity]
+                if isinstance(a, Variable)
+            }
+            if key_vars <= bound:
+                return (1, atom_vars - bound)
+            return None
+        # Ordinary / non-default cost atoms can always run; prefer the
+        # ones with more variables already bound (cheaper joins).
+        unbound = atom_vars - bound
+        return (2 + min(len(unbound), 5), unbound)
+    if isinstance(sg, BuiltinSubgoal):
+        lhs_vars = expr_variable_set(sg.lhs)
+        rhs_vars = expr_variable_set(sg.rhs)
+        all_vars = lhs_vars | rhs_vars
+        if all_vars <= bound:
+            return (0, set())
+        if sg.op == "=":
+            if (
+                isinstance(sg.lhs, Variable)
+                and sg.lhs not in bound
+                and rhs_vars <= bound
+            ):
+                return (0, {sg.lhs})
+            if (
+                isinstance(sg.rhs, Variable)
+                and sg.rhs not in bound
+                and lhs_vars <= bound
+            ):
+                return (0, {sg.rhs})
+        return None
+    if isinstance(sg, AggregateSubgoal):
+        grouping = rule.grouping_variables(sg)
+        newly = (
+            {sg.result}
+            if isinstance(sg.result, Variable) and sg.result not in bound
+            else set()
+        )
+        if grouping <= bound:
+            return (4, newly)
+        if sg.restricted:
+            # An =r subgoal can *generate* grouping bindings by
+            # enumerating the groups of its inner conjunction — that is
+            # how Definition 2.5 limits its grouping variables.  Run it
+            # late so other subgoals narrow the groups first.
+            return (6, newly | (grouping - bound))
+        return None
+    raise TypeError(f"unknown subgoal type {type(sg).__name__}")
 
 
 def schedule(
@@ -139,72 +189,12 @@ def schedule(
     ordered: List[Subgoal] = []
     bound: set = set(pre_bound)
 
-    def readiness(sg: Subgoal) -> Optional[Tuple[int, set]]:
-        """(priority, newly_bound) if evaluable now, else None."""
-        if isinstance(sg, AtomSubgoal):
-            decl = program.decl(sg.atom.predicate)
-            atom_vars = set(sg.atom.variables())
-            if sg.negated:
-                if atom_vars <= bound:
-                    return (3, set())
-                return None
-            if decl.has_default:
-                key_vars = {
-                    a
-                    for a in sg.atom.args[: decl.key_arity]
-                    if isinstance(a, Variable)
-                }
-                if key_vars <= bound:
-                    return (1, atom_vars - bound)
-                return None
-            # Ordinary / non-default cost atoms can always run; prefer the
-            # ones with more variables already bound (cheaper joins).
-            unbound = atom_vars - bound
-            return (2 + min(len(unbound), 5), unbound)
-        if isinstance(sg, BuiltinSubgoal):
-            lhs_vars = expr_variable_set(sg.lhs)
-            rhs_vars = expr_variable_set(sg.rhs)
-            all_vars = lhs_vars | rhs_vars
-            if all_vars <= bound:
-                return (0, set())
-            if sg.op == "=":
-                if (
-                    isinstance(sg.lhs, Variable)
-                    and sg.lhs not in bound
-                    and rhs_vars <= bound
-                ):
-                    return (0, {sg.lhs})
-                if (
-                    isinstance(sg.rhs, Variable)
-                    and sg.rhs not in bound
-                    and lhs_vars <= bound
-                ):
-                    return (0, {sg.rhs})
-            return None
-        if isinstance(sg, AggregateSubgoal):
-            grouping = rule.grouping_variables(sg)
-            newly = (
-                {sg.result}
-                if isinstance(sg.result, Variable) and sg.result not in bound
-                else set()
-            )
-            if grouping <= bound:
-                return (4, newly)
-            if sg.restricted:
-                # An =r subgoal can *generate* grouping bindings by
-                # enumerating the groups of its inner conjunction — that is
-                # how Definition 2.5 limits its grouping variables.  Run it
-                # late so other subgoals narrow the groups first.
-                return (6, newly | (grouping - bound))
-            return None
-        raise TypeError(f"unknown subgoal type {type(sg).__name__}")
-
     while remaining:
         best_index: Optional[int] = None
         best_priority = 99
         best_newly: set = set()
         for idx, sg in enumerate(remaining):
-            ready = readiness(sg)
+            ready = subgoal_readiness(sg, rule, program, bound)
             if ready is None:
                 continue
             priority, newly = ready

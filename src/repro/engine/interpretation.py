@@ -20,8 +20,8 @@ tuples of raw constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.datalog.errors import CostConsistencyError, ProgramError
 from repro.datalog.program import PredicateDecl
@@ -30,18 +30,74 @@ Key = Tuple[Any, ...]
 
 
 @dataclass
+class IndexStats:
+    """Global counters for the persistent index layer (``repro bench``).
+
+    ``hits``/``misses`` count indexed lookups served by an existing index
+    versus lookups that had to build one first; ``builds`` counts index
+    constructions, ``invalidations`` whole-index drops forced by bulk or
+    in-place mutations, and ``scans`` full-relation row materialisations.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    invalidations: int = 0
+    scans: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.builds = 0
+        self.invalidations = self.scans = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "invalidations": self.invalidations,
+            "scans": self.scans,
+        }
+
+
+#: Process-wide counters; reset by ``repro bench`` before each workload.
+INDEX_STATS = IndexStats()
+
+
+@dataclass
 class Relation:
-    """The extension of one predicate inside an interpretation."""
+    """The extension of one predicate inside an interpretation.
+
+    Beyond the raw ``tuples``/``costs`` containers, a relation owns its
+    *persistent incremental indexes*: hash indexes keyed by argument
+    positions that are built lazily on first lookup and then maintained in
+    place by :meth:`add_tuple`/:meth:`set_cost`.  They survive across
+    fixpoint rounds — a semi-naive round touches only its delta instead of
+    re-hashing every relation (see docs/PERFORMANCE.md).  Code that
+    mutates ``tuples``/``costs`` directly must call
+    :meth:`invalidate_indexes` afterwards (or use the mutator methods).
+    """
 
     decl: PredicateDecl
     tuples: Set[Key]  # ordinary predicates
     costs: Dict[Key, Any]  # cost predicates (core only for defaults)
+    #: Bumped on every mutation; validates the materialized-row cache.
+    generation: int = field(default=0, compare=False, repr=False)
+    #: position tuple -> bound-value tuple -> full rows.
+    _indexes: Dict[Tuple[int, ...], Dict[Key, List[Key]]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _rows_cache: Optional[List[Key]] = field(
+        default=None, compare=False, repr=False
+    )
+    _rows_cache_gen: int = field(default=-1, compare=False, repr=False)
 
     @classmethod
     def empty(cls, decl: PredicateDecl) -> "Relation":
         return cls(decl=decl, tuples=set(), costs={})
 
     def copy(self) -> "Relation":
+        # Indexes are not copied: the copy starts cold and re-indexes on
+        # demand (copies are usually mutated immediately, e.g. by join).
         return Relation(self.decl, set(self.tuples), dict(self.costs))
 
     @property
@@ -58,6 +114,7 @@ class Relation:
         if key in self.tuples:
             return False
         self.tuples.add(key)
+        self._on_insert(key)
         return True
 
     def set_cost(self, key: Key, value: Any, *, strict: bool = True) -> bool:
@@ -80,6 +137,7 @@ class Relation:
         existing = self.costs.get(key)
         if existing is None:
             self.costs[key] = value
+            self._on_insert(key + (value,))
             return True
         if existing == value:
             return False
@@ -88,8 +146,88 @@ class Relation:
                 f"{self.decl.name}{key}: derived both {existing!r} and "
                 f"{value!r} in one T_P application"
             )
-        self.costs[key] = lattice.join(existing, value)
-        return self.costs[key] != existing
+        joined = lattice.join(existing, value)
+        if joined == existing:
+            return False
+        self.costs[key] = joined
+        self._on_replace(key + (existing,), key + (joined,))
+        return True
+
+    def merge_tuples(self, keys: Set[Key]) -> None:
+        """Bulk-union ordinary tuples; invalidates live indexes."""
+        self.tuples |= keys
+        self.invalidate_indexes()
+
+    def invalidate_indexes(self) -> None:
+        """Drop every live index and row cache (after direct mutation)."""
+        if self._indexes or self._rows_cache is not None:
+            INDEX_STATS.invalidations += 1
+        self._indexes.clear()
+        self._rows_cache = None
+        self.generation += 1
+
+    # -- index maintenance ------------------------------------------------------
+
+    def _on_insert(self, row: Key) -> None:
+        gen = self.generation
+        self.generation = gen + 1
+        if self._rows_cache is not None and self._rows_cache_gen == gen:
+            self._rows_cache.append(row)
+            self._rows_cache_gen = gen + 1
+        for positions, index in self._indexes.items():
+            bucket_key = tuple(row[p] for p in positions)
+            index.setdefault(bucket_key, []).append(row)
+
+    def _on_replace(self, old_row: Key, new_row: Key) -> None:
+        # Cost value changed in place: the row cache position is unknown,
+        # so it is invalidated (rebuilt at most once per generation).
+        self.generation += 1
+        self._rows_cache = None
+        for positions, index in self._indexes.items():
+            old_key = tuple(old_row[p] for p in positions)
+            bucket = index.get(old_key)
+            if bucket is not None:
+                try:
+                    bucket.remove(old_row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            new_key = tuple(new_row[p] for p in positions)
+            index.setdefault(new_key, []).append(new_row)
+
+    # -- indexed access ----------------------------------------------------------
+
+    def rows_list(self) -> List[Key]:
+        """The materialized full-row list, cached per generation."""
+        if self._rows_cache is None or self._rows_cache_gen != self.generation:
+            INDEX_STATS.scans += 1
+            self._rows_cache = list(self.rows())
+            self._rows_cache_gen = self.generation
+        return self._rows_cache
+
+    def index_for(self, positions: Tuple[int, ...]) -> Dict[Key, List[Key]]:
+        """The hash index on ``positions``, built on first use and then
+        maintained incrementally by the mutator methods."""
+        index = self._indexes.get(positions)
+        if index is None:
+            INDEX_STATS.builds += 1
+            index = {}
+            for row in self.rows():
+                bucket_key = tuple(row[p] for p in positions)
+                index.setdefault(bucket_key, []).append(row)
+            self._indexes[positions] = index
+        return index
+
+    def lookup(
+        self, positions: Tuple[int, ...], values: Key
+    ) -> Sequence[Key]:
+        """Rows whose ``positions`` equal ``values`` (indexed)."""
+        index = self._indexes.get(positions)
+        if index is None:
+            INDEX_STATS.misses += 1
+            index = self.index_for(positions)
+        else:
+            INDEX_STATS.hits += 1
+        return index.get(values, ())
 
     # -- queries ---------------------------------------------------------------
 

@@ -42,6 +42,7 @@ def kleene_fixpoint(
     max_iterations: int = 100_000,
     strict: bool = True,
     on_step: Optional[Callable[[int, Interpretation], None]] = None,
+    plan: str = "smart",
 ) -> FixpointResult:
     """Iterate ``J ← T_P(J, I)`` from ``J_∅`` until a fixpoint.
 
@@ -55,7 +56,7 @@ def kleene_fixpoint(
     trajectory: List[int] = []
     seen: Dict[int, int] = {j.fingerprint(): 0}
     for step in range(1, max_iterations + 1):
-        j_next = apply_tp(program, cdb, j, i, strict=strict)
+        j_next = apply_tp(program, cdb, j, i, strict=strict, plan=plan)
         if on_step is not None:
             on_step(step, j_next)
         trajectory.append(j_next.total_size())

@@ -32,7 +32,8 @@ from repro.datalog.errors import NonTerminationError
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
-from repro.engine.grounding import Bindings, EvalContext, evaluate_body, ground_head
+from repro.engine.exec import run_rule
+from repro.engine.grounding import Bindings, EvalContext
 from repro.engine.interpretation import Interpretation, Key
 from repro.engine.naive import FixpointResult
 from repro.engine.tp import apply_tp
@@ -76,6 +77,67 @@ def _delta_between(old: Interpretation, new: Interpretation) -> DeltaRows:
     return delta
 
 
+#: One compiled seed source: (predicate, arity, constant checks as
+#: (position, value), duplicate-variable checks as (position, first
+#: position), seed writes as (variable, position)).
+_SeedPlan = Tuple[
+    str,
+    int,
+    Tuple[Tuple[int, Any], ...],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Tuple[Variable, int], ...],
+]
+
+
+def _row_seed_plan(atom: Atom, keep: Optional[FrozenSet[Variable]]) -> _SeedPlan:
+    """Compile ``atom`` into a row → seed-bindings extractor.
+
+    ``keep`` restricts the seed to a variable subset (aggregate grouping
+    projection); constant and duplicate-occurrence checks still cover
+    every position, exactly like :func:`_match_row`.
+    """
+    checks: List[Tuple[int, Any]] = []
+    dups: List[Tuple[int, int]] = []
+    writes: List[Tuple[Variable, int]] = []
+    first: Dict[Variable, int] = {}
+    for pos, arg in enumerate(atom.args):
+        if isinstance(arg, Constant):
+            checks.append((pos, arg.value))
+        elif arg in first:
+            dups.append((pos, first[arg]))
+        else:
+            first[arg] = pos
+            if keep is None or arg in keep:
+                writes.append((arg, pos))
+    return (
+        atom.predicate,
+        len(atom.args),
+        tuple(checks),
+        tuple(dups),
+        tuple(writes),
+    )
+
+
+def _seed_plans(rule: Rule, cdb: FrozenSet[str]) -> List[_SeedPlan]:
+    """The rule's compiled seed sources, cached on the rule object."""
+    cache: Dict[FrozenSet[str], List[_SeedPlan]]
+    cache = rule.__dict__.setdefault("_delta_seed_plans", {})
+    plans = cache.get(cdb)
+    if plans is None:
+        plans = []
+        for sg in rule.body:
+            if isinstance(sg, AtomSubgoal) and not sg.negated:
+                if sg.atom.predicate in cdb:
+                    plans.append(_row_seed_plan(sg.atom, None))
+            elif isinstance(sg, AggregateSubgoal):
+                grouping = rule.grouping_variables(sg)
+                for conjunct in sg.conjuncts:
+                    if conjunct.predicate in cdb:
+                        plans.append(_row_seed_plan(conjunct, grouping))
+        cache[cdb] = plans
+    return plans
+
+
 def _delta_seeds(
     rule: Rule, cdb: FrozenSet[str], delta: DeltaRows
 ) -> Iterator[Bindings]:
@@ -87,58 +149,52 @@ def _delta_seeds(
     of exactly the affected groups.  The full body is then re-evaluated
     around the seed (the pinned subgoal re-matches via an index hit, which
     keeps the original rule's grouping/local classification intact).
+
+    Seeds are deduplicated by a frozenset-of-items fingerprint — an
+    order-free O(k) key (a bindings dict cannot bind one variable twice,
+    so equal item sets mean equal seeds).
     """
-    seen: Set[Tuple[Tuple[str, Any], ...]] = set()
-
-    def emit(seed: Bindings) -> Iterator[Bindings]:
-        fingerprint = tuple(
-            sorted(((v.name, value) for v, value in seed.items()))
-        )
-        if fingerprint not in seen:
-            seen.add(fingerprint)
-            yield seed
-
-    for sg in rule.body:
-        if isinstance(sg, AtomSubgoal) and not sg.negated:
-            if sg.atom.predicate in cdb and sg.atom.predicate in delta:
-                for row in delta[sg.atom.predicate]:
-                    bound = _match_row(sg.atom, row)
-                    if bound is not None:
-                        yield from emit(bound)
-        elif isinstance(sg, AggregateSubgoal):
-            grouping = rule.grouping_variables(sg)
-            for conjunct in sg.conjuncts:
-                if conjunct.predicate not in cdb or conjunct.predicate not in delta:
-                    continue
-                for row in delta[conjunct.predicate]:
-                    bound = _match_row(conjunct, row)
-                    if bound is None:
-                        continue
-                    yield from emit(
-                        {v: value for v, value in bound.items() if v in grouping}
-                    )
+    seen: Set[FrozenSet[Tuple[Variable, Any]]] = set()
+    for predicate, arity, checks, dups, writes in _seed_plans(rule, cdb):
+        rows = delta.get(predicate)
+        if not rows:
+            continue
+        for row in rows:
+            if len(row) != arity:
+                continue
+            ok = True
+            for pos, value in checks:
+                if row[pos] != value:
+                    ok = False
+                    break
+            if ok:
+                for pos, pos0 in dups:
+                    if row[pos] != row[pos0]:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            seed = {var: row[pos] for var, pos in writes}
+            fingerprint = frozenset(seed.items())
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                yield seed
 
 
 def _apply_derivation(
     target: Interpretation, predicate: str, args: Tuple[Any, ...]
 ) -> bool:
-    """Join one derived head atom into ``target``; True if it changed."""
+    """Join one derived head atom into ``target``; True if it changed.
+
+    Routed through the relation mutators so the persistent indexes stay
+    consistent across rounds (``set_cost(strict=False)`` joins on
+    conflict, which is exactly the semi-naive merge semantics).
+    """
     rel = target.relation(predicate)
     if rel.is_cost:
         assert rel.decl.lattice is not None
         rel.decl.lattice.validate(args[-1])
-        key, value = args[:-1], args[-1]
-        existing = rel.costs.get(key)
-        if existing is None:
-            if rel.decl.has_default and value == rel.decl.lattice.bottom:
-                return False
-            rel.costs[key] = value
-            return True
-        joined = rel.decl.lattice.join(existing, value)
-        if joined == existing:
-            return False
-        rel.costs[key] = joined
-        return True
+        return rel.set_cost(args[:-1], args[-1], strict=False)
     return rel.add_tuple(args)
 
 
@@ -148,13 +204,14 @@ def seminaive_fixpoint(
     i: Interpretation,
     *,
     max_iterations: int = 100_000,
+    plan: str = "smart",
 ) -> FixpointResult:
     """Delta-driven fixpoint of one monotonic component."""
     rules = [r for r in program.rules if r.head.predicate in cdb]
     empty = Interpretation(program.declarations)
 
     # Round 0: one full naive T_P application.
-    j = apply_tp(program, cdb, empty, i, strict=True)
+    j = apply_tp(program, cdb, empty, i, strict=True, plan=plan)
     delta = _delta_between(empty, j)
     trajectory = [j.total_size()]
     iterations = 1
@@ -164,6 +221,12 @@ def seminaive_fixpoint(
         r for r in rules if any(p in cdb for p in r.body_predicates())
     ]
 
+    # One context for the whole fixpoint: the persistent indexes on the
+    # relations of ``j`` and ``i`` survive across rounds and are updated
+    # in place by ``_apply_derivation``'s mutator calls, so each round
+    # touches only its delta instead of re-hashing every relation.
+    ctx = EvalContext(program, cdb, j, i)
+
     while delta:
         if iterations >= max_iterations:
             raise NonTerminationError(
@@ -171,12 +234,10 @@ def seminaive_fixpoint(
                 f"{max_iterations} rounds",
                 ascending=True,
             )
-        ctx = EvalContext(program, cdb, j, i)
         derived: List[Tuple[str, Tuple[Any, ...]]] = []
         for rule in dependent_rules:
             for seed in _delta_seeds(rule, cdb, delta):
-                for bindings in evaluate_body(rule, ctx, initial=seed):
-                    derived.append(ground_head(rule, bindings))
+                derived.extend(run_rule(rule, ctx, seed=seed, mode=plan))
         new_delta: DeltaRows = {}
         for predicate, args in derived:
             if _apply_derivation(j, predicate, args):

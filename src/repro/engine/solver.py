@@ -76,6 +76,7 @@ def solve(
     check: CheckPolicy = "strict",
     method: Method = "naive",
     max_iterations: int = 100_000,
+    plan: str = "smart",
 ) -> SolveResult:
     """Compute the iterated minimal model of ``program`` over ``edb``.
 
@@ -83,6 +84,10 @@ def solve(
     classification pass (:mod:`repro.analysis.classify`): greedy for
     certified-extremal components, semi-naive for the other certified
     ones, strict naive for anything needing well-founded care.
+
+    ``plan`` selects the join-ordering mode of the compiled execution
+    layer (:mod:`repro.engine.exec`): ``"smart"`` (selectivity-aware,
+    default) or ``"off"`` (legacy schedule order).
     """
     analysis: Optional[AnalysisReport] = None
     if check != "none":
@@ -139,14 +144,18 @@ def solve(
         if chosen == "seminaive":
             used = "seminaive"
             fixpoint = seminaive_fixpoint(
-                program, component.cdb, state, max_iterations=max_iterations
+                program,
+                component.cdb,
+                state,
+                max_iterations=max_iterations,
+                plan=plan,
             )
         elif chosen == "greedy" and greedy_applicable(program, component):
             # Greedy applies to extremal components only; other components
             # of the same program fall through to the naive evaluator.
             used = "greedy"
             fixpoint = greedy_fixpoint(
-                program, component, state, assume_invariant=True
+                program, component, state, assume_invariant=True, plan=plan
             )
         else:
             used = "naive"
@@ -156,6 +165,7 @@ def solve(
                 state,
                 max_iterations=max_iterations,
                 strict=True,
+                plan=plan,
             )
         state = state.join(fixpoint.interpretation)
         result.components.append(component)

@@ -20,7 +20,8 @@ from typing import FrozenSet, List, Optional
 
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.engine.grounding import EvalContext, evaluate_body, ground_head, schedule
+from repro.engine.exec import run_rule
+from repro.engine.grounding import EvalContext
 from repro.engine.interpretation import Interpretation
 
 
@@ -34,6 +35,7 @@ def apply_tp(
     strict: bool = True,
     negation_source: Optional[Interpretation] = None,
     aggregate_source: Optional[Interpretation] = None,
+    plan: str = "smart",
 ) -> Interpretation:
     """One application of ``T_P`` for the component with head set ``cdb``.
 
@@ -42,7 +44,9 @@ def apply_tp(
     joined instead of raising (used by the semi-naive evaluator, which is
     only sound for monotonic programs anyway).  ``negation_source`` /
     ``aggregate_source`` fix those subgoal kinds to an oracle
-    interpretation (reducts, Sections 5.3–5.5).
+    interpretation (reducts, Sections 5.3–5.5).  Rule bodies run through
+    the compiled execution layer (:mod:`repro.engine.exec`); ``plan``
+    selects the join-ordering mode (``"smart"`` | ``"off"``).
     """
     if rules is None:
         rules = [r for r in program.rules if r.head.predicate in cdb]
@@ -56,9 +60,7 @@ def apply_tp(
     )
     out = Interpretation(program.declarations)
     for rule in rules:
-        order = schedule(rule, program)
-        for bindings in evaluate_body(rule, ctx, order=order):
-            predicate, args = ground_head(rule, bindings)
+        for predicate, args in run_rule(rule, ctx, mode=plan):
             rel = out.relation(predicate)
             if rel.is_cost:
                 assert rel.decl.lattice is not None

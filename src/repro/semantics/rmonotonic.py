@@ -64,7 +64,9 @@ def rmonotonic_fixpoint(
             target = j.relation(name)
             new = rel.tuples - target.tuples
             if new:
-                target.tuples |= new
+                # merge_tuples keeps the persistent indexes that apply_tp
+                # built on ``j`` consistent for the next round.
+                target.merge_tuples(new)
                 changed = True
         if not changed:
             return j

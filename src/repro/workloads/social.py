@@ -27,7 +27,9 @@ def random_party(
     """
     rng = random.Random(seed)
     knows: Set[Tuple[int, int]] = set()
-    m = int(n * friends_per_guest)
+    # Only n*(n-1) distinct ordered non-self pairs exist; without the cap
+    # the sampling loop below never terminates for small n.
+    m = min(int(n * friends_per_guest), n * (n - 1))
     while len(knows) < m:
         a, b = rng.randrange(n), rng.randrange(n)
         if a != b:

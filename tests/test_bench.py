@@ -1,0 +1,167 @@
+"""The tracked benchmark suite: report shape, comparison gate, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    WORKLOADS,
+    compare_reports,
+    run_suite,
+    write_report,
+)
+from repro.cli import main
+
+
+def quick_report(**kwargs):
+    return run_suite(quick=True, repeat=1, **kwargs)
+
+
+class TestRunSuite:
+    def test_report_shape(self):
+        report = quick_report(only=["circuit"])
+        assert report["suite"] == "repro-bench"
+        assert report["quick"] is True
+        record = report["workloads"]["circuit"]
+        for field in ("size", "method", "wall_s", "rounds", "atoms"):
+            assert field in record
+        stats = record["index_stats"]
+        assert stats["hits"] > 0
+        assert set(stats) == {
+            "hits",
+            "misses",
+            "builds",
+            "invalidations",
+            "scans",
+        }
+
+    def test_plan_off_derives_same_model(self):
+        smart = quick_report(only=["circuit"], plan="smart")
+        off = quick_report(only=["circuit"], plan="off")
+        assert (
+            smart["workloads"]["circuit"]["atoms"]
+            == off["workloads"]["circuit"]["atoms"]
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(only=["warp-drive"])
+
+    def test_workload_names_unique(self):
+        names = [w.name for w in WORKLOADS]
+        assert len(names) == len(set(names))
+
+
+class TestCompareReports:
+    BASE = {
+        "workloads": {
+            "circuit": {"size": 16, "wall_s": 0.01, "atoms": 73},
+        }
+    }
+
+    def test_within_tolerance_passes(self):
+        current = {
+            "workloads": {
+                "circuit": {"size": 16, "wall_s": 0.02, "atoms": 73}
+            }
+        }
+        assert compare_reports(self.BASE, current, tolerance=3.0) == []
+
+    def test_slowdown_fails(self):
+        current = {
+            "workloads": {
+                "circuit": {"size": 16, "wall_s": 0.05, "atoms": 73}
+            }
+        }
+        problems = compare_reports(self.BASE, current, tolerance=3.0)
+        assert problems and "slower" in problems[0]
+
+    def test_model_change_fails(self):
+        current = {
+            "workloads": {
+                "circuit": {"size": 16, "wall_s": 0.01, "atoms": 99}
+            }
+        }
+        problems = compare_reports(self.BASE, current)
+        assert problems and "model changed" in problems[0]
+
+    def test_size_mismatch_is_skipped_but_empty_comparison_fails(self):
+        current = {
+            "workloads": {
+                "circuit": {"size": 48, "wall_s": 9.9, "atoms": 170}
+            }
+        }
+        problems = compare_reports(self.BASE, current)
+        assert problems and "no comparable workloads" in problems[0]
+
+    def test_sub_millisecond_baselines_use_noise_floor(self):
+        base = {
+            "workloads": {
+                "circuit": {"size": 16, "wall_s": 0.0001, "atoms": 73}
+            }
+        }
+        current = {
+            "workloads": {
+                "circuit": {"size": 16, "wall_s": 0.002, "atoms": 73}
+            }
+        }
+        assert compare_reports(base, current, tolerance=3.0) == []
+
+
+class TestBenchCli:
+    def test_bench_writes_report_and_compares(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--workload",
+                "circuit",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert "circuit" in report["workloads"]
+        # Self-comparison always passes.
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--workload",
+                "circuit",
+                "--compare",
+                str(out),
+            ]
+        )
+        assert code == 0
+
+    def test_bench_compare_catches_regression(self, tmp_path):
+        baseline = {
+            "workloads": {
+                "circuit": {"size": 16, "wall_s": 1e-9, "atoms": -1}
+            }
+        }
+        path = tmp_path / "baseline.json"
+        write_report(baseline, str(path))
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--workload",
+                "circuit",
+                "--compare",
+                str(path),
+            ]
+        )
+        assert code == 1
+
+    def test_bench_unknown_workload_errors(self):
+        assert main(["bench", "--workload", "warp-drive"]) == 2

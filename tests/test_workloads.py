@@ -116,6 +116,12 @@ class TestParty:
         assert all(a != b for a, b in knows)
         assert any(k == 0 for k in requires.values())
 
+    def test_generator_terminates_on_tiny_n(self):
+        """friends_per_guest * n can exceed the n*(n-1) possible arcs."""
+        knows, requires = random_party(4, seed=0)
+        assert len(knows) == 12  # every ordered non-self pair
+        assert len(requires) == 4
+
 
 class TestCircuits:
     def test_oracle_known_circuit(self):
