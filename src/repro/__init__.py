@@ -31,5 +31,13 @@ __version__ = "1.0.0"
 
 from repro.core.database import Database  # noqa: E402  (public façade)
 from repro.core.api import analyze, solve_program  # noqa: E402
+from repro.obs import TelemetrySummary, Tracer  # noqa: E402
 
-__all__ = ["Database", "analyze", "solve_program", "__version__"]
+__all__ = [
+    "Database",
+    "analyze",
+    "solve_program",
+    "Tracer",
+    "TelemetrySummary",
+    "__version__",
+]

@@ -3,8 +3,13 @@
 Runs the paper's scaling workloads (the same generators the
 ``benchmarks/`` experiment suite uses) at fixed sizes and fixed seeds,
 and writes a machine-readable report: per-workload wall time, fixpoint
-rounds, derived-atom counts, and the persistent-index layer's counters
-(:data:`repro.engine.interpretation.INDEX_STATS`).
+rounds, derived-atom counts, the solve's index counters, and (format
+version 2) the telemetry digest of one traced run — per-rule executor
+profiles and per-SCC convergence (docs/OBSERVABILITY.md).
+
+Timings stay honest: the timed repetitions run *untraced* (the null
+tracer's single-branch fast path), and one extra untimed traced run
+supplies the index counters and the telemetry attribution afterwards.
 
 The committed ``BENCH_3.json`` / ``BENCH_3_quick.json`` reports double as
 regression baselines: ``repro bench --quick --compare BENCH_3_quick.json``
@@ -20,10 +25,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.engine.interpretation import INDEX_STATS
+from repro.obs import Tracer
 
 #: Report format version, bumped on schema changes.
-FORMAT_VERSION = 1
+#: v2: per-workload ``telemetry`` digest; ``index_stats`` now comes from
+#: the dedicated traced run (solve-scoped counters, not a process global).
+FORMAT_VERSION = 2
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
@@ -37,62 +44,62 @@ class Workload:
     method: str
     size: int
     quick_size: int
-    #: size -> zero-argument solve callable (building the database is part
-    #: of the setup, not the timed region).
-    setup: Callable[[int], Callable[[str], Any]]
+    #: size -> solve callable taking ``(plan, tracer=None)`` (building the
+    #: database is part of the setup, not the timed region).
+    setup: Callable[[int], Callable[..., Any]]
 
 
-def _make_shortest_path(method: str) -> Callable[[int], Callable[[str], Any]]:
+def _make_shortest_path(method: str) -> Callable[[int], Callable[..., Any]]:
     from repro.programs import shortest_path
     from repro.workloads import random_digraph
 
-    def setup(size: int) -> Callable[[str], Any]:
+    def setup(size: int) -> Callable[..., Any]:
         arcs = random_digraph(size, seed=size)
 
-        def run(plan: str) -> Any:
+        def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
             db = shortest_path.database({"arc": arcs})
-            return db.solve(method=method, plan=plan)
+            return db.solve(method=method, plan=plan, tracer=tracer)
 
         return run
 
     return setup
 
 
-def _company_control(size: int) -> Callable[[str], Any]:
+def _company_control(size: int) -> Callable[..., Any]:
     from repro.programs import company_control
     from repro.workloads import random_ownership
 
     shares = random_ownership(size, seed=size, chain_length=min(6, size - 1))
 
-    def run(plan: str) -> Any:
+    def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
         db = company_control.database({"s": shares})
-        return db.solve(method="seminaive", plan=plan)
+        return db.solve(method="seminaive", plan=plan, tracer=tracer)
 
     return run
 
 
-def _party(size: int) -> Callable[[str], Any]:
+def _party(size: int) -> Callable[..., Any]:
     from repro.programs import party_invitations
     from repro.workloads import random_party
 
     knows, requires = random_party(size, seed=size)
 
-    def run(plan: str) -> Any:
+    def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
         db = party_invitations.database(
             {"knows": knows, "requires": list(requires.items())}
         )
-        return db.solve(plan=plan)
+        return db.solve(plan=plan, tracer=tracer)
 
     return run
 
 
-def _circuit(size: int) -> Callable[[str], Any]:
+def _circuit(size: int) -> Callable[..., Any]:
     from repro.programs import circuit
     from repro.workloads import random_circuit
 
     inst = random_circuit(size, seed=size)
 
-    def run(plan: str) -> Any:
+    def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
         db = circuit.database(
             {
                 "gate": inst.gates,
@@ -100,7 +107,7 @@ def _circuit(size: int) -> Callable[[str], Any]:
                 "input": inst.inputs,
             }
         )
-        return db.solve(plan=plan)
+        return db.solve(plan=plan, tracer=tracer)
 
     return run
 
@@ -124,13 +131,18 @@ def run_workload(
     quick: bool = False,
     plan: str = "smart",
     repeat: int = 3,
+    telemetry: bool = True,
 ) -> Dict[str, Any]:
-    """Best-of-``repeat`` measurement of one workload."""
+    """Best-of-``repeat`` measurement of one workload.
+
+    The timed repetitions run untraced; with ``telemetry`` one extra,
+    untimed traced run supplies the ``index_stats`` counters and the
+    ``telemetry`` digest, so attribution never skews the timings.
+    """
     size = workload.quick_size if quick else workload.size
     best: Optional[Dict[str, Any]] = None
     for _ in range(max(1, repeat)):
         solve = workload.setup(size)
-        INDEX_STATS.reset()
         t0 = time.perf_counter()
         result = solve(plan)
         wall = time.perf_counter() - t0
@@ -140,11 +152,18 @@ def run_workload(
             "wall_s": round(wall, 4),
             "rounds": result.total_iterations,
             "atoms": result.model.total_size(),
-            "index_stats": INDEX_STATS.snapshot(),
         }
         if best is None or record["wall_s"] < best["wall_s"]:
             best = record
     assert best is not None
+    if telemetry:
+        tracer = Tracer()
+        traced = workload.setup(size)(plan, tracer)
+        best["index_stats"] = tracer.index_stats.snapshot()
+        if traced.telemetry is not None:
+            best["telemetry"] = traced.telemetry.to_report_dict()
+    else:
+        best["index_stats"] = {}
     return best
 
 

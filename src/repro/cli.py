@@ -3,6 +3,10 @@
 Usage::
 
     python -m repro solve program.mad [--facts facts.mad] [--method auto]
+    python -m repro solve program.mad --trace out.jsonl --stats
+    python -m repro profile program.mad [--top 10]
+    python -m repro explain program.mad "s(a, c)"
+    python -m repro validate-trace out.jsonl
     python -m repro analyze program.mad
     python -m repro lint program.mad [--format json] [--explain]
     python -m repro lint program.mad --fix [--diff | --check]
@@ -23,6 +27,12 @@ and ``solve``); with ``--fix`` the repaired text goes to stdout.
 Rule files use the library's textual syntax (see README); facts files are
 rule files containing only ground facts.  Output is the model, one atom
 per line, optionally filtered to a predicate with ``--query``.
+
+Telemetry surfaces (docs/OBSERVABILITY.md): ``solve --trace out.jsonl``
+streams the versioned event schema as JSONL, ``solve --stats`` prints
+per-SCC / per-rule tables to stderr, ``profile`` ranks rules and
+predicates by cumulative executor time with convergence sparklines, and
+``validate-trace`` checks trace files against the schema.
 """
 
 from __future__ import annotations
@@ -45,7 +55,8 @@ def _read_source(path: str) -> str:
 
 
 def _load_database(args: argparse.Namespace) -> Database:
-    db = Database(name="cli")
+    name = args.program or (args.files[0] if args.files else "cli")
+    db = Database(name=name)
     if args.program:
         catalog = {p.name: p for p in ALL_PROGRAMS}
         if args.program not in catalog:
@@ -71,14 +82,30 @@ def _print_model(result, query: Optional[str]) -> None:
             print(f"{name}({rendered})")
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A collecting tracer when ``--trace``/``--stats`` asks for one."""
+    if not (getattr(args, "trace", None) or getattr(args, "stats", False)):
+        return None
+    from repro.obs import JsonlSink, Tracer
+
+    sinks = [JsonlSink(args.trace)] if args.trace else []
+    return Tracer(*sinks)
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     db = _load_database(args)
-    result = db.solve(
-        check=args.check,
-        method=args.method,
-        max_iterations=args.max_iterations,
-        plan=args.plan,
-    )
+    tracer = _make_tracer(args)
+    try:
+        result = db.solve(
+            check=args.check,
+            method=args.method,
+            max_iterations=args.max_iterations,
+            plan=args.plan,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     if args.explain:
         from repro.datalog.parser import parse_atom_text
 
@@ -87,15 +114,83 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(result.explain(atom.predicate, key))
         return 0
     _print_model(result, args.query)
-    methods = ""
-    if result.component_methods:
-        methods = f" (methods: {', '.join(result.component_methods)})"
+    for predicates, used, iterations in result.method_by_component():
+        rendered = ", ".join(predicates)
+        print(
+            f"% scc {{{rendered}}}: {used} ({iterations} iterations)",
+            file=sys.stderr,
+        )
     print(
         f"% {result.total_iterations} T_P iterations over "
-        f"{len(result.components)} components{methods}",
+        f"{len(result.components)} components",
         file=sys.stderr,
     )
+    if args.stats and result.telemetry is not None:
+        print(result.telemetry.render_stats(), file=sys.stderr)
+    if args.trace:
+        print(f"% trace written to {args.trace}", file=sys.stderr)
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Solve once under a tracer and print the ranked hot-rule report."""
+    from repro.obs import JsonlSink, Tracer
+
+    db = _load_database(args)
+    sinks = [JsonlSink(args.trace)] if args.trace else []
+    tracer = Tracer(*sinks)
+    try:
+        result = db.solve(
+            check=args.check,
+            method=args.method,
+            max_iterations=args.max_iterations,
+            plan=args.plan,
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    assert result.telemetry is not None
+    print(result.telemetry.render_profile(top=args.top))
+    if args.trace:
+        print(f"% trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Solve and render the derivation tree of one model atom."""
+    from repro.datalog.parser import parse_atom_text
+
+    # The last positional is the atom; everything before it is rule files.
+    args.files = args.args[:-1]
+    atom_text = args.args[-1]
+    db = _load_database(args)
+    result = db.solve(
+        check=args.check,
+        method=args.method,
+        max_iterations=args.max_iterations,
+        plan=args.plan,
+    )
+    atom = parse_atom_text(atom_text)
+    key = tuple(arg.value for arg in atom.args)  # type: ignore[union-attr]
+    print(result.explain(atom.predicate, key, max_depth=args.max_depth))
+    return 0
+
+
+def cmd_validate_trace(args: argparse.Namespace) -> int:
+    """Validate JSONL trace files against the event schema."""
+    from repro.obs import SCHEMA_VERSION, validate_jsonl
+
+    failures = 0
+    for path in args.files:
+        problems = validate_jsonl(path)
+        if problems:
+            failures += 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"{path}: ok (schema v{SCHEMA_VERSION})")
+    return 1 if failures else 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -340,7 +435,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="derivation tree for one atom, e.g. \"s(a, c)\" "
         "(key arguments only for cost predicates)",
     )
+    solve.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="stream schema'd telemetry events to this JSONL file "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    solve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-SCC / per-rule statistics to stderr after solving",
+    )
     solve.set_defaults(handler=cmd_solve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="solve under the tracer and print ranked hot-rule / "
+        "hot-predicate tables with per-SCC convergence sparklines",
+    )
+    add_common(profile)
+    profile.add_argument(
+        "--method",
+        choices=["naive", "seminaive", "greedy", "auto"],
+        default="auto",
+        help="evaluation mode (default: auto — profile what production "
+        "would run)",
+    )
+    profile.add_argument(
+        "--check",
+        choices=["strict", "lenient", "none"],
+        default="strict",
+    )
+    profile.add_argument("--max-iterations", type=int, default=100_000)
+    profile.add_argument(
+        "--plan", choices=["smart", "off"], default="smart"
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the hot-rule ranking (default 10)",
+    )
+    profile.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="also stream the raw event trace to this JSONL file",
+    )
+    profile.set_defaults(handler=cmd_profile)
+
+    explain = sub.add_parser(
+        "explain",
+        help="solve and render the derivation tree of one model atom "
+        "(engine.provenance)",
+    )
+    explain.add_argument(
+        "args",
+        nargs="+",
+        metavar="FILE ... ATOM",
+        help="rule files followed by the atom to explain, e.g. "
+        "\"s(a, c)\" (key arguments only for cost predicates)",
+    )
+    explain.add_argument(
+        "--program",
+        help="start from a built-in paper program (see 'examples')",
+    )
+    explain.add_argument("--facts", help="extra facts file")
+    explain.add_argument(
+        "--method",
+        choices=["naive", "seminaive", "greedy", "auto"],
+        default="naive",
+    )
+    explain.add_argument(
+        "--check",
+        choices=["strict", "lenient", "none"],
+        default="strict",
+    )
+    explain.add_argument("--max-iterations", type=int, default=100_000)
+    explain.add_argument(
+        "--plan", choices=["smart", "off"], default="smart"
+    )
+    explain.add_argument(
+        "--max-depth",
+        type=int,
+        default=12,
+        help="cut the derivation tree at this depth (default 12)",
+    )
+    explain.set_defaults(handler=cmd_explain)
+
+    validate_trace = sub.add_parser(
+        "validate-trace",
+        help="check JSONL trace files against the telemetry event schema",
+    )
+    validate_trace.add_argument(
+        "files", nargs="+", help="JSONL trace files (from --trace)"
+    )
+    validate_trace.set_defaults(handler=cmd_validate_trace)
 
     analyze = sub.add_parser(
         "analyze", help="run the static pipeline (Defs 2.5, 2.10, 4.5)"

@@ -9,6 +9,7 @@ from repro.core.database import Database
 from repro.datalog.parser import parse_program
 from repro.datalog.program import Program
 from repro.engine.solver import SolveResult
+from repro.obs.tracer import Tracer
 
 Facts = Dict[str, Iterable[Tuple[Any, ...]]]
 
@@ -28,6 +29,7 @@ def solve_program(
     method: str = "naive",
     max_iterations: int = 100_000,
     name: str = "program",
+    tracer: Optional[Tracer] = None,
 ) -> SolveResult:
     """Parse, load facts, and solve in one call.
 
@@ -51,4 +53,5 @@ def solve_program(
         check=check,  # type: ignore[arg-type]
         method=method,  # type: ignore[arg-type]
         max_iterations=max_iterations,
+        tracer=tracer,
     )

@@ -38,6 +38,7 @@ from repro.engine.interpretation import Interpretation
 from repro.engine.solver import CheckPolicy, Method, SolveResult, solve
 from repro.lattices import REGISTRY as LATTICE_REGISTRY
 from repro.lattices.base import Lattice
+from repro.obs.tracer import Tracer
 
 
 class Database:
@@ -236,8 +237,14 @@ class Database:
         method: Method = "naive",
         max_iterations: int = 100_000,
         plan: str = "smart",
+        tracer: Optional["Tracer"] = None,
     ) -> SolveResult:
-        """Compute the iterated minimal model (Section 6.3)."""
+        """Compute the iterated minimal model (Section 6.3).
+
+        Pass a :class:`repro.obs.Tracer` to opt into the telemetry layer;
+        the digest lands on :attr:`SolveResult.telemetry` (see
+        docs/OBSERVABILITY.md).
+        """
         result = solve(
             self.program,
             self.edb(),
@@ -245,6 +252,7 @@ class Database:
             method=method,
             max_iterations=max_iterations,
             plan=plan,
+            tracer=tracer,
         )
         self.last_result = result
         return result

@@ -15,7 +15,7 @@ from repro.engine.modelcheck import is_model, is_premodel, violations
 from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
 from repro.engine.solver import SolveResult, solve
-from repro.engine.trace import Justification, explain, justifications
+from repro.engine.provenance import Justification, explain, justifications
 from repro.engine.tp import apply_tp
 
 __all__ = [

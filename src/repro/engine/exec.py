@@ -27,6 +27,7 @@ fixpoint rounds.  See docs/PERFORMANCE.md.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import (
     Any,
     Dict,
@@ -848,6 +849,9 @@ def get_plan(
     are taken from the relation sizes at first compilation (typically the
     initial ``T_P`` round, where the extensional relations dominate) and
     the resulting order is reused for the program's lifetime.
+
+    When the context carries an enabled tracer (:mod:`repro.obs`), cache
+    probes are counted as plan-cache hits/misses.
     """
     cache: Dict[Tuple[int, FrozenSet[str], str], RulePlan]
     cache = program.__dict__.setdefault("_exec_plan_cache", {})
@@ -857,6 +861,8 @@ def get_plan(
         _check_mode(mode),
     )
     plan = cache.get(cache_key)
+    if ctx is not None and ctx.tracer.enabled:
+        ctx.tracer.count_plan(plan is not None)
     if plan is None:
         plan = compile_rule(rule, program, pre_bound, mode=mode, ctx=ctx)
         cache[cache_key] = plan
@@ -879,7 +885,18 @@ def run_rule(
 
     ``seed`` pre-binds variables (semi-naive delta seeds); the plan is
     compiled once per distinct seed *shape* and cached on the program.
+
+    With an enabled tracer on the context the execution is materialised
+    eagerly so its wall time and derived-atom count can be charged to the
+    rule (``tracer.record_rule``); the untraced path stays lazy and pays
+    only the ``enabled`` check.
     """
     pre_bound = frozenset(seed) if seed else frozenset()
     plan = get_plan(ctx.program, rule, pre_bound, mode=mode, ctx=ctx)
-    return plan.execute(ctx, seed)
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return plan.execute(ctx, seed)
+    t0 = perf_counter()
+    derived = list(plan.execute(ctx, seed))
+    tracer.record_rule(rule, len(derived), perf_counter() - t0)
+    return iter(derived)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, FrozenSet, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.analysis.dependencies import Component
 from repro.datalog.errors import ReproError
@@ -38,6 +38,7 @@ from repro.engine.interpretation import Interpretation
 from repro.engine.naive import FixpointResult
 from repro.engine.seminaive import DeltaRows, _delta_seeds
 from repro.engine.tp import apply_tp
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 def greedy_applicable(program: Program, component: Component) -> Optional[int]:
@@ -71,8 +72,14 @@ def greedy_fixpoint(
     assume_invariant: bool = False,
     max_pops: int = 10_000_000,
     plan: str = "smart",
+    tracer: Tracer = NULL_TRACER,
+    scc: int = 0,
 ) -> FixpointResult:
-    """Priority-queue fixpoint of one extremal component."""
+    """Priority-queue fixpoint of one extremal component.
+
+    With an enabled ``tracer`` each *settled* atom emits one
+    ``iteration`` event (the greedy analogue of a fixpoint round:
+    exactly one atom becomes final per settle)."""
     direction = greedy_applicable(program, component)
     if direction is None:
         raise ReproError(
@@ -88,7 +95,8 @@ def greedy_fixpoint(
     cdb = component.cdb
     rules = list(component.rules)
     j = Interpretation(program.declarations)
-    ctx = EvalContext(program, cdb, j, i)
+    ctx = EvalContext(program, cdb, j, i, tracer=tracer)
+    track = tracer.enabled
 
     counter = itertools.count()
     heap: List[Tuple[float, int, str, Tuple[Any, ...]]] = []
@@ -102,7 +110,9 @@ def greedy_fixpoint(
         heapq.heappush(heap, (heap_key, next(counter), predicate, args))
 
     # Seed: one full application against the empty J.
-    seed = apply_tp(program, cdb, j, i, rules=rules, strict=False, plan=plan)
+    seed = apply_tp(
+        program, cdb, j, i, rules=rules, strict=False, plan=plan, tracer=tracer
+    )
     for name, rel in seed.relations.items():
         for key, value in rel.costs.items():
             push(name, key + (value,))
@@ -120,6 +130,7 @@ def greedy_fixpoint(
         if existing is not None:
             # Settled already; by the invariant the settled value is final.
             continue
+        t_settle = tracer.clock() if track else 0.0
         # set_cost keeps the persistent indexes on ``rel`` consistent, so
         # the long-lived context sees the settled atom immediately.
         rel.set_cost(key, value, strict=False)
@@ -134,6 +145,17 @@ def greedy_fixpoint(
                     if head_args[:-1] in head_rel.costs:
                         continue
                     push(head_pred, head_args)
+        if track:
+            tracer.emit(
+                "iteration",
+                scc=scc,
+                iteration=settled_count,
+                delta_atoms=1,
+                new_atoms=1,
+                changed_atoms=0,
+                total_atoms=j.total_size(),
+                wall_s=round(tracer.clock() - t_settle, 6),
+            )
 
     return FixpointResult(
         interpretation=j,

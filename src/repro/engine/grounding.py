@@ -20,7 +20,7 @@ fan-in sound (Example 4.4).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aggregates.base import EmptyAggregateError
 from repro.datalog.atoms import (
@@ -35,6 +35,7 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable, evaluate_expr, expr_variable_set
 from repro.engine.interpretation import Interpretation, Key, Relation
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.util.multiset import FrozenMultiset
 
 Bindings = Dict[Variable, Any]
@@ -66,6 +67,7 @@ class EvalContext:
         *,
         negation_source: Optional[Interpretation] = None,
         aggregate_source: Optional[Interpretation] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.program = program
         self.cdb = cdb
@@ -73,6 +75,9 @@ class EvalContext:
         self.i = i
         self.negation_source = negation_source
         self.aggregate_source = aggregate_source
+        #: Telemetry hub (:mod:`repro.obs`); the shared disabled tracer
+        #: unless the solve is being traced.
+        self.tracer = tracer
 
     def relation(
         self, predicate: str, *, mode: str = "positive"

@@ -20,6 +20,8 @@ tuples of raw constants.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -31,12 +33,18 @@ Key = Tuple[Any, ...]
 
 @dataclass
 class IndexStats:
-    """Global counters for the persistent index layer (``repro bench``).
+    """Counters for the persistent index layer.
 
     ``hits``/``misses`` count indexed lookups served by an existing index
     versus lookups that had to build one first; ``builds`` counts index
     constructions, ``invalidations`` whole-index drops forced by bulk or
     in-place mutations, and ``scans`` full-relation row materialisations.
+
+    Ownership is *solve-scoped*: every solve binds its own instance (the
+    tracer's, see :mod:`repro.obs.tracer`) via :func:`use_index_stats`,
+    so concurrent solves no longer share one process-global counter.
+    :data:`INDEX_STATS` remains as the ambient fallback for relation
+    operations outside any solve.
     """
 
     hits: int = 0
@@ -59,8 +67,34 @@ class IndexStats:
         }
 
 
-#: Process-wide counters; reset by ``repro bench`` before each workload.
+#: Deprecated process-wide fallback.  Solves bind their own stats object
+#: (``use_index_stats``); this ambient instance only collects operations
+#: performed outside a solve context, and is kept so existing imports of
+#: the old global keep working.
 INDEX_STATS = IndexStats()
+
+#: The stats object charged for index work on the current (thread/task)
+#: context; defaults to the ambient :data:`INDEX_STATS`.
+_ACTIVE_STATS: ContextVar[IndexStats] = ContextVar("repro_index_stats")
+
+
+def active_index_stats() -> IndexStats:
+    """The :class:`IndexStats` charged for index work right now."""
+    return _ACTIVE_STATS.get(INDEX_STATS)
+
+
+@contextmanager
+def use_index_stats(stats: IndexStats) -> Iterator[IndexStats]:
+    """Bind ``stats`` as the active counter object for this context.
+
+    Context variables are per-thread (and per-task), so two concurrent
+    solves each see only their own counters.
+    """
+    token = _ACTIVE_STATS.set(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE_STATS.reset(token)
 
 
 @dataclass
@@ -161,7 +195,7 @@ class Relation:
     def invalidate_indexes(self) -> None:
         """Drop every live index and row cache (after direct mutation)."""
         if self._indexes or self._rows_cache is not None:
-            INDEX_STATS.invalidations += 1
+            active_index_stats().invalidations += 1
         self._indexes.clear()
         self._rows_cache = None
         self.generation += 1
@@ -199,7 +233,7 @@ class Relation:
     def rows_list(self) -> List[Key]:
         """The materialized full-row list, cached per generation."""
         if self._rows_cache is None or self._rows_cache_gen != self.generation:
-            INDEX_STATS.scans += 1
+            active_index_stats().scans += 1
             self._rows_cache = list(self.rows())
             self._rows_cache_gen = self.generation
         return self._rows_cache
@@ -209,7 +243,7 @@ class Relation:
         maintained incrementally by the mutator methods."""
         index = self._indexes.get(positions)
         if index is None:
-            INDEX_STATS.builds += 1
+            active_index_stats().builds += 1
             index = {}
             for row in self.rows():
                 bucket_key = tuple(row[p] for p in positions)
@@ -223,10 +257,10 @@ class Relation:
         """Rows whose ``positions`` equal ``values`` (indexed)."""
         index = self._indexes.get(positions)
         if index is None:
-            INDEX_STATS.misses += 1
+            active_index_stats().misses += 1
             index = self.index_for(positions)
         else:
-            INDEX_STATS.hits += 1
+            active_index_stats().hits += 1
         return index.get(values, ())
 
     # -- queries ---------------------------------------------------------------
@@ -256,6 +290,33 @@ class Relation:
                 yield key + (value,)
         else:
             yield from self.tuples
+
+
+def delta_counts(
+    old: "Interpretation", new: "Interpretation"
+) -> Tuple[int, int]:
+    """``(new atoms, changed-cost atoms)`` of ``new`` relative to ``old``.
+
+    A *new* atom is a key absent from ``old``; a *changed* one is a cost
+    key whose stored value differs (a lattice merge).  Telemetry only —
+    the evaluators never act on these counts.
+    """
+    new_atoms = 0
+    changed = 0
+    for name, rel in new.relations.items():
+        old_rel = old.relations.get(name)
+        if rel.is_cost:
+            old_costs = old_rel.costs if old_rel is not None else {}
+            for key, value in rel.costs.items():
+                existing = old_costs.get(key)
+                if existing is None:
+                    new_atoms += 1
+                elif existing != value:
+                    changed += 1
+        else:
+            old_tuples = old_rel.tuples if old_rel is not None else set()
+            new_atoms += len(rel.tuples - old_tuples)
+    return new_atoms, changed
 
 
 class Interpretation:

@@ -19,8 +19,9 @@ from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.datalog.errors import NonTerminationError
 from repro.datalog.program import Program
-from repro.engine.interpretation import Interpretation
+from repro.engine.interpretation import Interpretation, delta_counts
 from repro.engine.tp import apply_tp
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -43,6 +44,8 @@ def kleene_fixpoint(
     strict: bool = True,
     on_step: Optional[Callable[[int, Interpretation], None]] = None,
     plan: str = "smart",
+    tracer: Tracer = NULL_TRACER,
+    scc: int = 0,
 ) -> FixpointResult:
     """Iterate ``J ← T_P(J, I)`` from ``J_∅`` until a fixpoint.
 
@@ -50,13 +53,32 @@ def kleene_fixpoint(
     with ``ascending=True`` when the chain was still ⊑-increasing
     (transfinite behaviour, Example 5.1) and ``ascending=False`` when an
     oscillation was detected (non-monotonic program).
+
+    With an enabled ``tracer`` one ``iteration`` event is emitted per
+    ``T_P`` application (so the final, unchanged round appears too),
+    tagged with component index ``scc``.
     """
     j = Interpretation(program.declarations)
     ascending = True
     trajectory: List[int] = []
     seen: Dict[int, int] = {j.fingerprint(): 0}
     for step in range(1, max_iterations + 1):
-        j_next = apply_tp(program, cdb, j, i, strict=strict, plan=plan)
+        t_round = tracer.clock() if tracer.enabled else 0.0
+        j_next = apply_tp(
+            program, cdb, j, i, strict=strict, plan=plan, tracer=tracer
+        )
+        if tracer.enabled:
+            new_atoms, changed = delta_counts(j, j_next)
+            tracer.emit(
+                "iteration",
+                scc=scc,
+                iteration=step,
+                delta_atoms=new_atoms + changed,
+                new_atoms=new_atoms,
+                changed_atoms=changed,
+                total_atoms=j_next.total_size(),
+                wall_s=round(tracer.clock() - t_round, 6),
+            )
         if on_step is not None:
             on_step(step, j_next)
         trajectory.append(j_next.total_size())

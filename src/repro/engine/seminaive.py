@@ -34,9 +34,10 @@ from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
 from repro.engine.exec import run_rule
 from repro.engine.grounding import Bindings, EvalContext
-from repro.engine.interpretation import Interpretation, Key
+from repro.engine.interpretation import Interpretation
 from repro.engine.naive import FixpointResult
 from repro.engine.tp import apply_tp
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 DeltaRows = Dict[str, List[Tuple[Any, ...]]]
 
@@ -205,16 +206,38 @@ def seminaive_fixpoint(
     *,
     max_iterations: int = 100_000,
     plan: str = "smart",
+    tracer: Tracer = NULL_TRACER,
+    scc: int = 0,
 ) -> FixpointResult:
-    """Delta-driven fixpoint of one monotonic component."""
+    """Delta-driven fixpoint of one monotonic component.
+
+    With an enabled ``tracer`` one ``iteration`` event is emitted per
+    round (tagged with component index ``scc``), carrying the delta fed
+    to the next round split into new atoms and changed-cost (lattice
+    merge) atoms.
+    """
     rules = [r for r in program.rules if r.head.predicate in cdb]
     empty = Interpretation(program.declarations)
+    track = tracer.enabled
 
     # Round 0: one full naive T_P application.
-    j = apply_tp(program, cdb, empty, i, strict=True, plan=plan)
+    t_round = tracer.clock() if track else 0.0
+    j = apply_tp(program, cdb, empty, i, strict=True, plan=plan, tracer=tracer)
     delta = _delta_between(empty, j)
     trajectory = [j.total_size()]
     iterations = 1
+    if track:
+        seeded = sum(len(rows) for rows in delta.values())
+        tracer.emit(
+            "iteration",
+            scc=scc,
+            iteration=1,
+            delta_atoms=seeded,
+            new_atoms=seeded,
+            changed_atoms=0,
+            total_atoms=j.total_size(),
+            wall_s=round(tracer.clock() - t_round, 6),
+        )
 
     # Rules that read no CDB predicate can never fire on a delta.
     dependent_rules = [
@@ -225,7 +248,7 @@ def seminaive_fixpoint(
     # relations of ``j`` and ``i`` survive across rounds and are updated
     # in place by ``_apply_derivation``'s mutator calls, so each round
     # touches only its delta instead of re-hashing every relation.
-    ctx = EvalContext(program, cdb, j, i)
+    ctx = EvalContext(program, cdb, j, i, tracer=tracer)
 
     while delta:
         if iterations >= max_iterations:
@@ -234,14 +257,27 @@ def seminaive_fixpoint(
                 f"{max_iterations} rounds",
                 ascending=True,
             )
+        t_round = tracer.clock() if track else 0.0
         derived: List[Tuple[str, Tuple[Any, ...]]] = []
         for rule in dependent_rules:
             for seed in _delta_seeds(rule, cdb, delta):
                 derived.extend(run_rule(rule, ctx, seed=seed, mode=plan))
         new_delta: DeltaRows = {}
+        new_atoms = changed_atoms = 0
         for predicate, args in derived:
+            rel = j.relation(predicate)
+            if track:
+                existed = (
+                    args[:-1] in rel.costs
+                    if rel.is_cost
+                    else args in rel.tuples
+                )
             if _apply_derivation(j, predicate, args):
-                rel = j.relation(predicate)
+                if track:
+                    if existed:
+                        changed_atoms += 1
+                    else:
+                        new_atoms += 1
                 if rel.is_cost:
                     key = args[:-1]
                     row = key + (rel.costs[key],)  # the value after joining
@@ -251,6 +287,17 @@ def seminaive_fixpoint(
         delta = new_delta
         trajectory.append(j.total_size())
         iterations += 1
+        if track:
+            tracer.emit(
+                "iteration",
+                scc=scc,
+                iteration=iterations,
+                delta_atoms=sum(len(rows) for rows in delta.values()),
+                new_atoms=new_atoms,
+                changed_atoms=changed_atoms,
+                total_atoms=j.total_size(),
+                wall_s=round(tracer.clock() - t_round, 6),
+            )
 
     return FixpointResult(
         interpretation=j,

@@ -16,22 +16,39 @@ is one total interpretation over all predicates.
   the paper's negative examples);
 * ``"none"`` — no static checks at all (benchmarks of the checks
   themselves).
+
+Telemetry: passing a :class:`repro.obs.Tracer` threads the solve through
+the instrumentation layer — analysis/classify phase spans, per-SCC
+``scc_start``/``scc_end`` events with the classification verdict and the
+reason auto picked its method, per-iteration fixpoint events from the
+evaluators, per-rule executor profiles and the solve's own index /
+plan-cache counters — and attaches the digest to
+:attr:`SolveResult.telemetry`.  Untraced solves go through the shared
+disabled tracer and pay one branch per instrumentation site.  Index
+counters are always solve-scoped (:func:`use_index_stats`), so
+concurrent solves never share them.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional
+from typing import Dict, List, Literal, Optional, Tuple
 
 from repro.analysis.classify import classify_program
 from repro.analysis.dependencies import Component, condense
 from repro.analysis.report import AnalysisReport, analyze_program
 from repro.datalog.errors import NotAdmissibleError, SafetyError
 from repro.datalog.program import Program
-from repro.engine.interpretation import Interpretation
+from repro.engine.interpretation import (
+    IndexStats,
+    Interpretation,
+    use_index_stats,
+)
 from repro.engine.greedy import greedy_applicable, greedy_fixpoint
 from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
+from repro.obs.summary import TelemetrySummary, summarize
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 CheckPolicy = Literal["strict", "lenient", "none"]
 Method = Literal["naive", "seminaive", "greedy", "auto"]
@@ -49,6 +66,9 @@ class SolveResult:
     #: for ``method="auto"``.
     component_methods: List[str] = field(default_factory=list)
     analysis: Optional[AnalysisReport] = None
+    #: Structured telemetry digest (per-rule / per-iteration tables);
+    #: None unless the solve ran with a collecting tracer.
+    telemetry: Optional[TelemetrySummary] = None
 
     #: Set by solve(); used by explain().
     program: Optional[Program] = None
@@ -57,12 +77,27 @@ class SolveResult:
     def total_iterations(self) -> int:
         return sum(r.iterations for r in self.component_results)
 
+    def method_by_component(self) -> List[Tuple[Tuple[str, ...], str, int]]:
+        """``(cdb predicates, method used, iterations)`` per SCC, in
+        bottom-up solve order — which predicates each method applied to."""
+        return [
+            (
+                tuple(sorted(component.cdb)),
+                method,
+                fixpoint.iterations,
+            )
+            for component, method, fixpoint in zip(
+                self.components, self.component_methods, self.component_results
+            )
+        ]
+
     def __getitem__(self, predicate: str):
         return self.model[predicate]
 
     def explain(self, predicate: str, key, **kwargs) -> str:
-        """Render a derivation tree for one model atom (engine.trace)."""
-        from repro.engine.trace import explain as _explain
+        """Render a derivation tree for one model atom
+        (engine.provenance)."""
+        from repro.engine.provenance import explain as _explain
 
         if self.program is None:
             raise ValueError("this result was built without a program")
@@ -77,6 +112,7 @@ def solve(
     method: Method = "naive",
     max_iterations: int = 100_000,
     plan: str = "smart",
+    tracer: Optional[Tracer] = None,
 ) -> SolveResult:
     """Compute the iterated minimal model of ``program`` over ``edb``.
 
@@ -88,10 +124,43 @@ def solve(
     ``plan`` selects the join-ordering mode of the compiled execution
     layer (:mod:`repro.engine.exec`): ``"smart"`` (selectivity-aware,
     default) or ``"off"`` (legacy schedule order).
+
+    ``tracer`` opts the solve into the telemetry layer
+    (:mod:`repro.obs`); the resulting digest lands on
+    :attr:`SolveResult.telemetry`.
     """
+    t = tracer if tracer is not None else NULL_TRACER
+    # Index counters are solve-scoped even when untraced, so concurrent
+    # solves cannot cross-contaminate each other's statistics.
+    stats = t.index_stats if tracer is not None else IndexStats()
+    with use_index_stats(stats):
+        return _solve_traced(
+            program,
+            edb,
+            check=check,
+            method=method,
+            max_iterations=max_iterations,
+            plan=plan,
+            tracer=t,
+        )
+
+
+def _solve_traced(
+    program: Program,
+    edb: Optional[Interpretation],
+    *,
+    check: CheckPolicy,
+    method: Method,
+    max_iterations: int,
+    plan: str,
+    tracer: Tracer,
+) -> SolveResult:
+    tracer.start(program.name)
+    t_solve = tracer.clock()
     analysis: Optional[AnalysisReport] = None
     if check != "none":
-        analysis = analyze_program(program)
+        with tracer.phase("analyze"):
+            analysis = analyze_program(program)
 
         def _diags(*prefixes: str):
             return [
@@ -122,43 +191,70 @@ def solve(
                     diagnostics=_diags("MAD2"),
                 )
 
-    auto_methods = {}
+    classification = (
+        analysis.classification if analysis is not None else None
+    )
+    auto_methods: Dict[frozenset, str] = {}
     if method == "auto":
-        classification = (
-            analysis.classification
-            if analysis is not None and analysis.classification is not None
-            else classify_program(program)
-        )
+        if classification is None:
+            with tracer.phase("classify"):
+                classification = classify_program(program)
         auto_methods = {
             c.component.cdb: c.method for c in classification.components
+        }
+    #: cdb → (verdict, reasons) for telemetry, whatever the method.
+    verdicts: Dict[frozenset, Tuple[str, Tuple[str, ...]]] = {}
+    if classification is not None:
+        verdicts = {
+            c.component.cdb: (c.verdict.value, c.reasons)
+            for c in classification.components
         }
 
     state = edb.copy() if edb is not None else Interpretation(program.declarations)
     result = SolveResult(model=state, analysis=analysis, program=program)
-    for component in condense(program):
+    for index, component in enumerate(condense(program)):
         chosen = (
             auto_methods.get(component.cdb, "naive")
             if method == "auto"
             else method
         )
+        if chosen == "greedy" and not greedy_applicable(program, component):
+            # Greedy applies to extremal components only; other components
+            # of the same program fall through to the naive evaluator.
+            chosen = "naive"
+        if tracer.enabled:
+            verdict, reasons = verdicts.get(component.cdb, (None, ()))
+            tracer.emit(
+                "scc_start",
+                scc=index,
+                predicates=sorted(component.cdb),
+                method=chosen,
+                verdict=verdict,
+                reasons=list(reasons),
+                rules=len(component.rules),
+            )
+            t_scc = tracer.clock()
         if chosen == "seminaive":
-            used = "seminaive"
             fixpoint = seminaive_fixpoint(
                 program,
                 component.cdb,
                 state,
                 max_iterations=max_iterations,
                 plan=plan,
+                tracer=tracer,
+                scc=index,
             )
-        elif chosen == "greedy" and greedy_applicable(program, component):
-            # Greedy applies to extremal components only; other components
-            # of the same program fall through to the naive evaluator.
-            used = "greedy"
+        elif chosen == "greedy":
             fixpoint = greedy_fixpoint(
-                program, component, state, assume_invariant=True, plan=plan
+                program,
+                component,
+                state,
+                assume_invariant=True,
+                plan=plan,
+                tracer=tracer,
+                scc=index,
             )
         else:
-            used = "naive"
             fixpoint = kleene_fixpoint(
                 program,
                 component.cdb,
@@ -166,10 +262,62 @@ def solve(
                 max_iterations=max_iterations,
                 strict=True,
                 plan=plan,
+                tracer=tracer,
+                scc=index,
+            )
+        if tracer.enabled:
+            tracer.emit(
+                "scc_end",
+                scc=index,
+                method=chosen,
+                iterations=fixpoint.iterations,
+                atoms=fixpoint.interpretation.total_size(),
+                wall_s=round(tracer.clock() - t_scc, 6),
             )
         state = state.join(fixpoint.interpretation)
         result.components.append(component)
-        result.component_methods.append(used)
+        result.component_methods.append(chosen)
         result.component_results.append(fixpoint)
     result.model = state
+    if tracer.enabled:
+        _flush_telemetry(tracer, program, result, t_solve)
+        if tracer.collect:
+            result.telemetry = summarize(tracer.events)
     return result
+
+
+def _flush_telemetry(
+    tracer: Tracer, program: Program, result: SolveResult, t_solve: float
+) -> None:
+    """Emit the end-of-solve events: per-rule profiles, counters, totals."""
+    scc_of: Dict[str, int] = {}
+    for index, component in enumerate(result.components):
+        for predicate in component.cdb:
+            scc_of[predicate] = index
+    rule_index = {id(rule): i for i, rule in enumerate(program.rules)}
+    rows = sorted(
+        tracer.rule_stats(),
+        key=lambda row: rule_index.get(id(row[0]), -1),
+    )
+    for rule, calls, derived, wall in rows:
+        tracer.emit(
+            "rule_profile",
+            rule=str(rule),
+            rule_index=rule_index.get(id(rule), -1),
+            head=rule.head.predicate,
+            scc=scc_of.get(rule.head.predicate),
+            calls=calls,
+            derived=derived,
+            wall_s=round(wall, 6),
+        )
+    tracer.emit(
+        "counters",
+        index=tracer.index_stats.snapshot(),
+        plan_cache={"hits": tracer.plan_hits, "misses": tracer.plan_misses},
+    )
+    tracer.emit(
+        "solve_end",
+        iterations=result.total_iterations,
+        atoms=result.model.total_size(),
+        wall_s=round(tracer.clock() - t_solve, 6),
+    )

@@ -23,6 +23,7 @@ from repro.datalog.rules import Rule
 from repro.engine.exec import run_rule
 from repro.engine.grounding import EvalContext
 from repro.engine.interpretation import Interpretation
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 def apply_tp(
@@ -36,6 +37,7 @@ def apply_tp(
     negation_source: Optional[Interpretation] = None,
     aggregate_source: Optional[Interpretation] = None,
     plan: str = "smart",
+    tracer: Tracer = NULL_TRACER,
 ) -> Interpretation:
     """One application of ``T_P`` for the component with head set ``cdb``.
 
@@ -57,6 +59,7 @@ def apply_tp(
         i,
         negation_source=negation_source,
         aggregate_source=aggregate_source,
+        tracer=tracer,
     )
     out = Interpretation(program.declarations)
     for rule in rules:

@@ -1,176 +1,19 @@
-"""Provenance: explain why an atom is in the minimal model.
+"""Deprecated alias for :mod:`repro.engine.provenance`.
 
-At a fixpoint ``M = T_P(M, I)``, every derived atom is the head of some
-rule instance whose body is satisfied *in the model itself* — so one more
-evaluation pass over the final model recovers, per atom, the rule and the
-ground bindings that (re-)derive it.  ``explain`` renders a derivation
-tree by following those justifications recursively; cycles are cut by
-marking atoms on the current path (a cyclic justification is legitimate
-at a fixpoint — shortest paths through cycles justify each other — but a
-finite *tree* requires stopping there).
-
-This is one-step-at-a-time provenance over the *final* model, not a full
-derivation history; for monotonic programs the final justification is a
-genuine proof because every body atom it references is itself in the
-model.
+``engine.trace`` historically held the provenance/explain machinery;
+the name now collides with the telemetry layer's *tracing*
+(:mod:`repro.obs`), so the module moved to
+:mod:`repro.engine.provenance`.  This shim keeps old imports working —
+new code should import from the new location.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from repro.engine.provenance import (  # noqa: F401
+    GroundAtom,
+    Justification,
+    explain,
+    justifications,
+)
 
-from repro.datalog.program import Program
-from repro.datalog.rules import Rule
-from repro.engine.grounding import EvalContext, evaluate_body, ground_head
-from repro.engine.interpretation import Interpretation, Key
-
-GroundAtom = Tuple[str, Tuple]  # (predicate, full argument tuple)
-
-
-@dataclass
-class Justification:
-    """One rule instance justifying a model atom."""
-
-    atom: GroundAtom
-    rule: Rule
-    body_atoms: List[GroundAtom] = field(default_factory=list)
-
-    def render(self) -> str:
-        predicate, args = self.atom
-        rendered = ", ".join(map(repr, args))
-        label = self.rule.label or str(self.rule)
-        return f"{predicate}({rendered})  ←  {label}"
-
-
-def _positive_body_atoms(rule: Rule, bindings) -> List[GroundAtom]:
-    """Ground positive atoms (incl. aggregate conjunct groups are omitted
-    — the aggregate's multiset is a set-level dependency, rendered by the
-    rule text itself)."""
-    out: List[GroundAtom] = []
-    for sg in rule.positive_atom_subgoals():
-        args = []
-        grounded = True
-        for arg in sg.atom.args:
-            from repro.datalog.terms import Constant, Variable
-
-            if isinstance(arg, Constant):
-                args.append(arg.value)
-            else:
-                value = bindings.get(arg)
-                if value is None:
-                    grounded = False
-                    break
-                args.append(value)
-        if grounded:
-            out.append((sg.atom.predicate, tuple(args)))
-    return out
-
-
-def _aggregate_witnesses(rule: Rule, ctx: EvalContext, bindings) -> List[GroundAtom]:
-    """For each aggregate subgoal, the conjunct atoms of one inner
-    solution whose multiset element equals the aggregate's value — the
-    *witness* (meaningful for extrema; for sums and counts every group
-    member contributes, so the first solution stands in)."""
-    from repro.datalog.terms import Constant, Variable
-    from repro.engine.grounding import solve_conjunction
-
-    out: List[GroundAtom] = []
-    for sg in rule.aggregate_subgoals():
-        grouping = rule.grouping_variables(sg)
-        inner = {v: bindings[v] for v in grouping if v in bindings}
-        solutions = solve_conjunction(sg.conjuncts, ctx, inner)
-        if not solutions:
-            continue
-        witness = solutions[0]
-        if sg.multiset_var is not None and isinstance(sg.result, Variable):
-            value = bindings.get(sg.result)
-            for solution in solutions:
-                if solution.get(sg.multiset_var) == value:
-                    witness = solution
-                    break
-        for conjunct in sg.conjuncts:
-            args = []
-            for arg in conjunct.args:
-                if isinstance(arg, Constant):
-                    args.append(arg.value)
-                else:
-                    args.append(witness.get(arg))
-            if None not in args:
-                out.append((conjunct.predicate, tuple(args)))
-    return out
-
-
-def justifications(
-    program: Program, model: Interpretation
-) -> Dict[GroundAtom, Justification]:
-    """One justification per derived atom of the (fixpoint) model."""
-    out: Dict[GroundAtom, Justification] = {}
-    ctx = EvalContext(program, frozenset(program.declarations), model, model)
-    for rule in program.rules:
-        for bindings in evaluate_body(rule, ctx):
-            predicate, args = ground_head(rule, bindings)
-            atom: GroundAtom = (predicate, args)
-            if atom in out:
-                continue
-            out[atom] = Justification(
-                atom=atom,
-                rule=rule,
-                body_atoms=_positive_body_atoms(rule, bindings)
-                + _aggregate_witnesses(rule, ctx, bindings),
-            )
-    return out
-
-
-def explain(
-    program: Program,
-    model: Interpretation,
-    predicate: str,
-    key: Key,
-    *,
-    max_depth: int = 12,
-    _table: Optional[Dict[GroundAtom, Justification]] = None,
-) -> str:
-    """A textual derivation tree for one model atom.
-
-    ``key`` is the non-cost argument tuple for cost predicates (the value
-    is read off the model) or the full tuple for ordinary predicates.
-    """
-    rel = model.relation(predicate)
-    if rel.is_cost:
-        value = rel.cost_of(tuple(key))
-        if value is None:
-            return f"{predicate}{tuple(key)} is not in the model"
-        atom: GroundAtom = (predicate, tuple(key) + (value,))
-    else:
-        if tuple(key) not in rel.tuples:
-            return f"{predicate}{tuple(key)} is not in the model"
-        atom = (predicate, tuple(key))
-
-    table = _table if _table is not None else justifications(program, model)
-    lines: List[str] = []
-
-    def walk(current: GroundAtom, depth: int, path: frozenset) -> None:
-        indent = "  " * depth
-        justification = table.get(current)
-        name, args = current
-        rendered = ", ".join(map(repr, args))
-        if justification is None:
-            lines.append(f"{indent}{name}({rendered})  [EDB fact]")
-            return
-        lines.append(f"{indent}{justification.render()}")
-        if depth >= max_depth:
-            lines.append(f"{indent}  ... (max depth)")
-            return
-        for body_atom in justification.body_atoms:
-            if body_atom in path:
-                bname, bargs = body_atom
-                brendered = ", ".join(map(repr, bargs))
-                lines.append(
-                    f"{indent}  {bname}({brendered})  [cyclic justification]"
-                )
-                continue
-            walk(body_atom, depth + 1, path | {current})
-
-    walk(atom, 0, frozenset())
-    return "\n".join(lines)
+__all__ = ["GroundAtom", "Justification", "explain", "justifications"]

@@ -1,0 +1,50 @@
+"""``repro.obs`` — engine telemetry: structured tracing and profiling.
+
+A zero-dependency instrumentation subsystem threaded through the solve
+path (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.events` — the versioned event schema and its in-tree
+  validator (``repro validate-trace``);
+* :mod:`repro.obs.tracer` — the :class:`Tracer` (span / counter / event
+  primitives) and its sinks (:class:`CollectorSink` in-memory,
+  :class:`JsonlSink` streaming); the shared :data:`NULL_TRACER` is the
+  disabled fast path every hot loop checks before doing any work;
+* :mod:`repro.obs.summary` — :class:`TelemetrySummary`, the structured
+  per-rule / per-iteration digest attached to
+  :attr:`repro.engine.solver.SolveResult.telemetry`, plus the renderers
+  behind ``repro solve --stats`` and ``repro profile``.
+
+Telemetry is strictly opt-in: an untraced solve goes through
+:data:`NULL_TRACER`, whose ``enabled`` flag keeps every instrumentation
+site down to a single attribute check.
+"""
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    validate_event,
+    validate_events,
+    validate_jsonl,
+)
+from repro.obs.summary import TelemetrySummary, sparkline, summarize
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectorSink,
+    JsonlSink,
+    Sink,
+    Tracer,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "validate_event",
+    "validate_events",
+    "validate_jsonl",
+    "TelemetrySummary",
+    "summarize",
+    "sparkline",
+    "Tracer",
+    "Sink",
+    "CollectorSink",
+    "JsonlSink",
+    "NULL_TRACER",
+]

@@ -62,6 +62,60 @@ class TestSolve:
         assert main(["solve", "/nonexistent/file.mad"]) == 2
 
 
+class TestTelemetrySurfaces:
+    def test_solve_trace_writes_valid_jsonl(self, sp_files, tmp_path, capsys):
+        rules, facts = sp_files
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(["solve", rules, "--facts", facts, "--trace", str(out)]) == 0
+        )
+        assert out.exists()
+        from repro.obs import validate_jsonl
+
+        assert validate_jsonl(str(out)) == []
+        # And the CLI validator agrees.
+        capsys.readouterr()
+        assert main(["validate-trace", str(out)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_validate_trace_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1, "seq": 1, "t": 0.0, "type": "warp"}\n')
+        assert main(["validate-trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_solve_stats_prints_tables(self, sp_files, capsys):
+        rules, facts = sp_files
+        assert main(["solve", rules, "--facts", facts, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "scc" in err
+        assert "solve:" in err
+
+    def test_solve_reports_scc_membership(self, sp_files, capsys):
+        rules, facts = sp_files
+        assert (
+            main(["solve", rules, "--facts", facts, "--method", "auto"]) == 0
+        )
+        err = capsys.readouterr().err
+        # Which predicates each per-component method applied to.
+        assert "% scc {path, s}:" in err
+
+    def test_profile_ranks_rules(self, sp_files, capsys):
+        rules, facts = sp_files
+        assert main(["profile", rules, "--facts", facts]) == 0
+        out = capsys.readouterr().out
+        assert "hot rules" in out
+        assert "convergence" in out
+        assert "s(X, Y, C)" in out
+
+    def test_explain_command(self, sp_files, capsys):
+        rules, facts = sp_files
+        assert main(["explain", rules, "s(a, c)", "--facts", facts]) == 0
+        out = capsys.readouterr().out
+        assert "s('a', 'c', 3)" in out
+        assert "[EDB fact]" in out
+
+
 class TestAnalyze:
     def test_admissible_exit_zero(self, sp_files, capsys):
         rules, _ = sp_files

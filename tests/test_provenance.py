@@ -1,9 +1,15 @@
 """Provenance: justifications and derivation trees."""
 
-import pytest
-
-from repro.engine.trace import explain, justifications
+from repro.engine.provenance import explain, justifications
 from repro.programs import circuit, company_control, shortest_path
+
+
+def test_engine_trace_shim_reexports():
+    # engine.trace is the deprecated alias kept for old imports.
+    from repro.engine import trace
+
+    assert trace.explain is explain
+    assert trace.justifications is justifications
 
 
 class TestJustifications:
