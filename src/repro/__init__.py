@@ -31,11 +31,21 @@ __version__ = "1.0.0"
 
 from repro.core.database import Database  # noqa: E402  (public façade)
 from repro.core.api import analyze, solve_program  # noqa: E402
+from repro.engine.checkpoint import Checkpoint  # noqa: E402
+from repro.engine.supervisor import (  # noqa: E402
+    Budget,
+    CancelToken,
+    sigint_cancels,
+)
 from repro.obs import TelemetrySummary, Tracer  # noqa: E402
 
 __all__ = [
+    "Budget",
+    "CancelToken",
+    "Checkpoint",
     "Database",
     "analyze",
+    "sigint_cancels",
     "solve_program",
     "Tracer",
     "TelemetrySummary",

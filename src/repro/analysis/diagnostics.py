@@ -34,6 +34,7 @@ MAD3xx admissibility / monotonicity (Section 4)
 MAD4xx classification notes (Sections 5–6) — never errors
 MAD5xx program hygiene (not from the paper)
 MAD6xx whole-program lattice type inference (Section 4.2 generalized)
+MAD7xx runtime divergence findings (engine supervisor) — never static
 ====== =====================================================
 
 Diagnostics for mechanical defects carry :class:`~repro.analysis.fixes.Fix`
@@ -332,6 +333,33 @@ _RULES = [
         "no value on the empty multiset; on empty groups the subgoal is "
         "undefined where '=r' would simply fail, so the restricted form "
         "is almost certainly intended.",
+    ),
+    # MAD7xx — runtime divergence findings.  Unlike every family above,
+    # these are raised *while evaluating* by the engine supervisor
+    # (repro.engine.supervisor), not by a static pass: Lemma 2.2 only
+    # guarantees finite models under the syntactic conditions, and a
+    # program can be lint-clean yet diverge on its actual data (e.g. a
+    # negative cycle under min — examples/diverging.mad).
+    LintRule(
+        "MAD701",
+        "cost-spiral",
+        Severity.WARNING,
+        "Example 5.1 (transfinite ascent); termination discussion, "
+        "Section 6",
+        "Successive fixpoint rounds keep revising existing cost atoms "
+        "without deriving any new atom, on a component whose cost "
+        "lattice admits unbounded ⊑-ascent; the Kleene chain may only "
+        "reach its fixpoint at ω or beyond, i.e. never operationally.",
+    ),
+    LintRule(
+        "MAD702",
+        "atom-growth",
+        Severity.WARNING,
+        "Lemma 2.2 (finite models need safety preconditions)",
+        "The component's derived-atom count is growing geometrically "
+        "round over round; the model may be infinite or combinatorially "
+        "explosive, so the solve is unlikely to finish within any "
+        "reasonable budget.",
     ),
 ]
 

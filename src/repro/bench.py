@@ -25,12 +25,15 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.engine.supervisor import Budget
 from repro.obs import Tracer
 
 #: Report format version, bumped on schema changes.
 #: v2: per-workload ``telemetry`` digest; ``index_stats`` now comes from
 #: the dedicated traced run (solve-scoped counters, not a process global).
-FORMAT_VERSION = 2
+#: v3: per-workload ``status`` (supervisor outcome — ``bench --timeout``
+#: budgets each solve and aborted runs are recorded, not crashed).
+FORMAT_VERSION = 3
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
@@ -44,8 +47,8 @@ class Workload:
     method: str
     size: int
     quick_size: int
-    #: size -> solve callable taking ``(plan, tracer=None)`` (building the
-    #: database is part of the setup, not the timed region).
+    #: size -> solve callable taking ``(plan, tracer=None, budget=None)``
+    #: (building the database is part of the setup, not the timed region).
     setup: Callable[[int], Callable[..., Any]]
 
 
@@ -56,9 +59,15 @@ def _make_shortest_path(method: str) -> Callable[[int], Callable[..., Any]]:
     def setup(size: int) -> Callable[..., Any]:
         arcs = random_digraph(size, seed=size)
 
-        def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
+        def run(
+            plan: str,
+            tracer: Optional[Tracer] = None,
+            budget: Optional[Budget] = None,
+        ) -> Any:
             db = shortest_path.database({"arc": arcs})
-            return db.solve(method=method, plan=plan, tracer=tracer)
+            return db.solve(
+                method=method, plan=plan, tracer=tracer, budget=budget
+            )
 
         return run
 
@@ -71,9 +80,15 @@ def _company_control(size: int) -> Callable[..., Any]:
 
     shares = random_ownership(size, seed=size, chain_length=min(6, size - 1))
 
-    def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
+    def run(
+        plan: str,
+        tracer: Optional[Tracer] = None,
+        budget: Optional[Budget] = None,
+    ) -> Any:
         db = company_control.database({"s": shares})
-        return db.solve(method="seminaive", plan=plan, tracer=tracer)
+        return db.solve(
+            method="seminaive", plan=plan, tracer=tracer, budget=budget
+        )
 
     return run
 
@@ -84,11 +99,15 @@ def _party(size: int) -> Callable[..., Any]:
 
     knows, requires = random_party(size, seed=size)
 
-    def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
+    def run(
+        plan: str,
+        tracer: Optional[Tracer] = None,
+        budget: Optional[Budget] = None,
+    ) -> Any:
         db = party_invitations.database(
             {"knows": knows, "requires": list(requires.items())}
         )
-        return db.solve(plan=plan, tracer=tracer)
+        return db.solve(plan=plan, tracer=tracer, budget=budget)
 
     return run
 
@@ -99,7 +118,11 @@ def _circuit(size: int) -> Callable[..., Any]:
 
     inst = random_circuit(size, seed=size)
 
-    def run(plan: str, tracer: Optional[Tracer] = None) -> Any:
+    def run(
+        plan: str,
+        tracer: Optional[Tracer] = None,
+        budget: Optional[Budget] = None,
+    ) -> Any:
         db = circuit.database(
             {
                 "gate": inst.gates,
@@ -107,7 +130,7 @@ def _circuit(size: int) -> Callable[..., Any]:
                 "input": inst.inputs,
             }
         )
-        return db.solve(plan=plan, tracer=tracer)
+        return db.solve(plan=plan, tracer=tracer, budget=budget)
 
     return run
 
@@ -132,19 +155,26 @@ def run_workload(
     plan: str = "smart",
     repeat: int = 3,
     telemetry: bool = True,
+    timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Best-of-``repeat`` measurement of one workload.
 
     The timed repetitions run untraced; with ``telemetry`` one extra,
     untimed traced run supplies the ``index_stats`` counters and the
     ``telemetry`` digest, so attribution never skews the timings.
+
+    With ``timeout`` every solve runs under a supervisor budget: an
+    overrunning workload is recorded with its supervisor ``status``
+    (``"timeout"`` etc.) instead of hanging the suite, and the
+    follow-up traced run is skipped for aborted workloads.
     """
     size = workload.quick_size if quick else workload.size
+    budget = Budget(timeout=timeout) if timeout is not None else None
     best: Optional[Dict[str, Any]] = None
     for _ in range(max(1, repeat)):
         solve = workload.setup(size)
         t0 = time.perf_counter()
-        result = solve(plan)
+        result = solve(plan, None, budget)
         wall = time.perf_counter() - t0
         record = {
             "size": size,
@@ -152,13 +182,18 @@ def run_workload(
             "wall_s": round(wall, 4),
             "rounds": result.total_iterations,
             "atoms": result.model.total_size(),
+            "status": result.status,
         }
         if best is None or record["wall_s"] < best["wall_s"]:
             best = record
+        if result.status != "complete":
+            # An aborted run's timing is the budget, not the workload;
+            # further repetitions would just burn the same budget again.
+            break
     assert best is not None
-    if telemetry:
+    if telemetry and best["status"] == "complete":
         tracer = Tracer()
-        traced = workload.setup(size)(plan, tracer)
+        traced = workload.setup(size)(plan, tracer, budget)
         best["index_stats"] = tracer.index_stats.snapshot()
         if traced.telemetry is not None:
             best["telemetry"] = traced.telemetry.to_report_dict()
@@ -174,6 +209,7 @@ def run_suite(
     repeat: int = 3,
     only: Optional[List[str]] = None,
     progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Run the (selected) workloads and return the report dict."""
     names = {w.name for w in WORKLOADS}
@@ -189,12 +225,15 @@ def run_suite(
         "version": FORMAT_VERSION,
         "quick": quick,
         "plan": plan,
+        "timeout": timeout,
         "workloads": {},
     }
     for workload in WORKLOADS:
         if only and workload.name not in only:
             continue
-        record = run_workload(workload, quick=quick, plan=plan, repeat=repeat)
+        record = run_workload(
+            workload, quick=quick, plan=plan, repeat=repeat, timeout=timeout
+        )
         report["workloads"][workload.name] = record
         if progress is not None:
             progress(workload.name, record)
@@ -222,6 +261,18 @@ def compare_reports(
         if base is None or base.get("size") != record.get("size"):
             continue
         compared += 1
+        # Pre-v3 baselines carry no "status"; they were complete runs.
+        base_status = base.get("status", "complete")
+        status = record.get("status", "complete")
+        if status != base_status:
+            problems.append(
+                f"{name}: run ended with status {status!r}, baseline was "
+                f"{base_status!r}"
+            )
+            continue
+        if status != "complete":
+            # Two aborted runs have neither comparable models nor timings.
+            continue
         if base.get("atoms") != record.get("atoms"):
             problems.append(
                 f"{name}: derived {record.get('atoms')} atoms, baseline "

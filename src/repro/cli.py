@@ -33,6 +33,29 @@ streams the versioned event schema as JSONL, ``solve --stats`` prints
 per-SCC / per-rule tables to stderr, ``profile`` ranks rules and
 predicates by cumulative executor time with convergence sparklines, and
 ``validate-trace`` checks trace files against the schema.
+
+Robustness surfaces (docs/ROBUSTNESS.md): ``solve --timeout`` /
+``--max-iterations`` / ``--max-atoms`` budget the fixpoint and degrade
+to a sound partial model instead of spinning; ``--checkpoint out.json``
+saves a resumable checkpoint when a run is interrupted and
+``--resume out.json`` continues it; ``--on-divergence abort`` turns the
+MAD7xx divergence heuristics from warnings into a graceful stop.  A
+first Ctrl-C cancels cooperatively (partial model + checkpoint); a
+second one falls through to the default handler.
+
+Exit codes (all commands except ``lint``, which exits with the maximum
+diagnostic severity as documented above):
+
+======  =========================================================
+0       success
+1       usage error (bad flags, unknown built-in, unreadable file)
+2       the program was rejected (parse error, MAD diagnostics,
+        failed admissibility/cost-consistency checks)
+3       runtime error while evaluating
+4       a budget interrupted the solve (timeout / cancellation /
+        divergence abort / iteration or atom cap) — the partial
+        model is printed and a checkpoint saved when requested
+======  =========================================================
 """
 
 from __future__ import annotations
@@ -42,8 +65,28 @@ import sys
 from typing import List, Optional
 
 from repro.core.database import Database
-from repro.datalog.errors import ReproError
+from repro.datalog.errors import (
+    CostConsistencyError,
+    ParseError,
+    ProgramError,
+    ReproError,
+)
 from repro.programs import ALL_PROGRAMS
+
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_DIAGNOSTICS = 2
+EXIT_RUNTIME = 3
+EXIT_BUDGET = 4
+
+#: Evaluator hard cap when a budget supervises the run: the budget's
+#: graceful ``status="partial"`` stop should win, not NonTerminationError.
+_UNCAPPED_ITERATIONS = 10**9
+
+
+class CliUsageError(ReproError):
+    """A command-line level mistake (exit ``EXIT_USAGE``), as opposed to
+    a problem with the program text being analyzed or solved."""
 
 
 def _read_source(path: str) -> str:
@@ -60,7 +103,7 @@ def _load_database(args: argparse.Namespace) -> Database:
     if args.program:
         catalog = {p.name: p for p in ALL_PROGRAMS}
         if args.program not in catalog:
-            raise ReproError(
+            raise CliUsageError(
                 f"unknown built-in program {args.program!r}; "
                 f"try: {', '.join(sorted(catalog))}"
             )
@@ -92,27 +135,64 @@ def _make_tracer(args: argparse.Namespace):
     return Tracer(*sinks)
 
 
+def _make_budget(args: argparse.Namespace):
+    """A :class:`repro.engine.supervisor.Budget` from the solve flags,
+    or ``None`` when no budget flag was given (unsupervised fast path)."""
+    if (
+        args.timeout is None
+        and args.max_iterations is None
+        and args.max_atoms is None
+        and args.on_divergence == "warn"
+    ):
+        return None
+    from repro.engine.supervisor import Budget
+
+    return Budget(
+        timeout=args.timeout,
+        max_iterations=args.max_iterations,
+        max_atoms=args.max_atoms,
+        on_divergence=args.on_divergence,
+    )
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.engine.supervisor import CancelToken, sigint_cancels
+
     db = _load_database(args)
     tracer = _make_tracer(args)
+    budget = _make_budget(args)
+    resume = None
+    if args.resume:
+        from repro.engine.checkpoint import Checkpoint
+
+        resume = Checkpoint.load(args.resume)
+    cancel = CancelToken()
+    hard_cap = _UNCAPPED_ITERATIONS if budget is not None else 100_000
     try:
-        result = db.solve(
-            check=args.check,
-            method=args.method,
-            max_iterations=args.max_iterations,
-            plan=args.plan,
-            tracer=tracer,
-        )
+        with sigint_cancels(cancel):
+            result = db.solve(
+                check=args.check,
+                method=args.method,
+                max_iterations=hard_cap,
+                plan=args.plan,
+                tracer=tracer,
+                budget=budget,
+                cancel=cancel,
+                resume=resume,
+            )
     finally:
         if tracer is not None:
             tracer.close()
-    if args.explain:
+    for diagnostic in result.runtime_diagnostics:
+        print(diagnostic.format(), file=sys.stderr)
+    interrupted = result.status != "complete"
+    if args.explain and not interrupted:
         from repro.datalog.parser import parse_atom_text
 
         atom = parse_atom_text(args.explain)
         key = tuple(arg.value for arg in atom.args)  # type: ignore[union-attr]
         print(result.explain(atom.predicate, key))
-        return 0
+        return EXIT_OK
     _print_model(result, args.query)
     for predicates, used, iterations in result.method_by_component():
         rendered = ", ".join(predicates)
@@ -129,7 +209,22 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(result.telemetry.render_stats(), file=sys.stderr)
     if args.trace:
         print(f"% trace written to {args.trace}", file=sys.stderr)
-    return 0
+    if interrupted:
+        detail = f": {result.reason}" if result.reason else ""
+        print(
+            f"% solve interrupted ({result.status}{detail}); the model "
+            f"above is a sound lower bound",
+            file=sys.stderr,
+        )
+        if args.checkpoint and result.checkpoint is not None:
+            result.checkpoint.save(args.checkpoint)
+            print(
+                f"% checkpoint written to {args.checkpoint} "
+                f"(resume with --resume)",
+                file=sys.stderr,
+            )
+        return EXIT_BUDGET
+    return EXIT_OK
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -197,7 +292,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     db = _load_database(args)
     report = db.analyze()
     print(report)
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_DIAGNOSTICS
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -210,7 +305,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if args.catalog:
         if args.files or args.program:
-            raise ReproError(
+            raise CliUsageError(
                 "--catalog lints the built-in programs only; "
                 "drop the file/--program arguments or run them separately"
             )
@@ -219,7 +314,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.program:
         catalog = {p.name: p for p in ALL_PROGRAMS}
         if args.program not in catalog:
-            raise ReproError(
+            raise CliUsageError(
                 f"unknown built-in program {args.program!r}; "
                 f"try: {', '.join(sorted(catalog))}"
             )
@@ -227,11 +322,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     for path in args.files:
         sources.append((path, _read_source(path)))
     if not sources:
-        raise ReproError("nothing to lint: give files, --program or --catalog")
+        raise CliUsageError(
+            "nothing to lint: give files, --program or --catalog"
+        )
 
     if args.fix or args.diff or args.check:
         if args.program:
-            raise ReproError(
+            raise CliUsageError(
                 "--fix edits files in place; it cannot repair a "
                 "built-in program"
             )
@@ -351,10 +448,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     def progress(name: str, record) -> None:
         stats = record["index_stats"]
+        hitmiss = (
+            f"idx hit/miss={stats['hits']}/{stats['misses']}"
+            if stats
+            else f"status={record.get('status', 'complete')}"
+        )
         print(
             f"{name:24s} n={record['size']:<4d} {record['wall_s']:8.4f}s  "
             f"rounds={record['rounds']:<6d} atoms={record['atoms']:<7d} "
-            f"idx hit/miss={stats['hits']}/{stats['misses']}",
+            f"{hitmiss}",
             file=sys.stderr,
         )
 
@@ -365,9 +467,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             only=args.workload or None,
             progress=progress,
+            timeout=args.timeout,
         )
     except ValueError as exc:
-        raise ReproError(str(exc)) from exc
+        raise CliUsageError(str(exc)) from exc
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -421,7 +524,46 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["strict", "lenient", "none"],
         default="strict",
     )
-    solve.add_argument("--max-iterations", type=int, default=100_000)
+    solve.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="budget: stop gracefully (exit 4, status 'partial') after "
+        "this many fixpoint rounds per component",
+    )
+    solve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="budget: wall-clock deadline for the whole solve; on expiry "
+        "the sound partial model is printed and exit code is 4",
+    )
+    solve.add_argument(
+        "--max-atoms",
+        type=int,
+        default=None,
+        help="budget: cap on total derived atoms across the model",
+    )
+    solve.add_argument(
+        "--on-divergence",
+        choices=["warn", "abort"],
+        default="warn",
+        help="MAD7xx divergence heuristics: warn on stderr (default) or "
+        "abort gracefully with status 'diverging' (exit 4)",
+    )
+    solve.add_argument(
+        "--checkpoint",
+        metavar="OUT.json",
+        help="when a budget or Ctrl-C interrupts the solve, save a "
+        "resumable checkpoint here (see docs/ROBUSTNESS.md)",
+    )
+    solve.add_argument(
+        "--resume",
+        metavar="CKPT.json",
+        help="resume an interrupted solve from a checkpoint saved with "
+        "--checkpoint; the final model equals an uninterrupted run's",
+    )
     solve.add_argument(
         "--plan",
         choices=["smart", "off"],
@@ -609,6 +751,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this workload (repeatable)",
     )
     bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="budget each workload solve; overrunning workloads are "
+        "recorded with their supervisor status instead of hanging CI",
+    )
+    bench.add_argument(
         "--out", help="write the JSON report here instead of stdout"
     )
     bench.add_argument(
@@ -628,15 +778,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on bad flags; fold that into the usage class
+        # (1) and keep 0 for --help.
+        return EXIT_OK if exc.code in (0, None) else EXIT_USAGE
     try:
         return args.handler(args)
+    except CliUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (ParseError, ProgramError, CostConsistencyError) as exc:
+        # The *program* is at fault: parse errors, rejected analysis
+        # (safety/typing/admissibility), cost-consistency violations.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_RUNTIME
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,7 +24,7 @@ become available to subsequently loaded rule text.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.aggregates.base import AggregateFunction
 from repro.aggregates.standard import default_registry
@@ -34,8 +34,10 @@ from repro.datalog.parser import parse_program
 from repro.datalog.program import PredicateDecl, Program
 from repro.datalog.atoms import make_atom
 from repro.datalog.rules import IntegrityConstraint, Rule
+from repro.engine.checkpoint import Checkpoint
 from repro.engine.interpretation import Interpretation
 from repro.engine.solver import CheckPolicy, Method, SolveResult, solve
+from repro.engine.supervisor import Budget, CancelToken
 from repro.lattices import REGISTRY as LATTICE_REGISTRY
 from repro.lattices.base import Lattice
 from repro.obs.tracer import Tracer
@@ -238,12 +240,19 @@ class Database:
         max_iterations: int = 100_000,
         plan: str = "smart",
         tracer: Optional["Tracer"] = None,
+        budget: Optional["Budget"] = None,
+        cancel: Optional["CancelToken"] = None,
+        resume: Optional["Checkpoint"] = None,
     ) -> SolveResult:
         """Compute the iterated minimal model (Section 6.3).
 
         Pass a :class:`repro.obs.Tracer` to opt into the telemetry layer;
         the digest lands on :attr:`SolveResult.telemetry` (see
-        docs/OBSERVABILITY.md).
+        docs/OBSERVABILITY.md).  ``budget``/``cancel`` opt into solve
+        supervision — graceful partial results with resumable
+        checkpoints instead of unbounded spins — and ``resume`` restarts
+        from such a checkpoint (see docs/ROBUSTNESS.md and
+        :meth:`resume`).
         """
         result = solve(
             self.program,
@@ -253,9 +262,27 @@ class Database:
             max_iterations=max_iterations,
             plan=plan,
             tracer=tracer,
+            budget=budget,
+            cancel=cancel,
+            resume=resume,
         )
         self.last_result = result
         return result
+
+    def resume(
+        self, checkpoint: Union["Checkpoint", str], **kwargs: Any
+    ) -> SolveResult:
+        """Continue an interrupted solve from its checkpoint.
+
+        ``checkpoint`` is a :class:`repro.engine.checkpoint.Checkpoint`
+        (e.g. ``last_result.checkpoint``) or a path to one saved with
+        ``Checkpoint.save`` / ``solve --checkpoint``.  All other keyword
+        arguments are forwarded to :meth:`solve`; for monotonic programs
+        the resumed model equals an uninterrupted solve's.
+        """
+        if isinstance(checkpoint, str):
+            checkpoint = Checkpoint.load(checkpoint)
+        return self.solve(resume=checkpoint, **kwargs)
 
     def query(self, predicate: str):
         """Relation contents from the most recent :meth:`solve`."""

@@ -1,5 +1,12 @@
-"""Evaluation engine: interpretations, T_P, naive/semi-naive fixpoints."""
+"""Evaluation engine: interpretations, T_P, naive/semi-naive fixpoints.
 
+Robustness layer (docs/ROBUSTNESS.md): :class:`Budget`,
+:class:`CancelToken` and :func:`sigint_cancels` supervise a solve;
+:class:`Checkpoint` captures the sound partial model of an interrupted
+run for ``solve(resume=...)``.
+"""
+
+from repro.engine.checkpoint import Checkpoint, CheckpointError
 from repro.engine.grounding import (
     Bindings,
     EvalContext,
@@ -16,9 +23,23 @@ from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
 from repro.engine.solver import SolveResult, solve
 from repro.engine.provenance import Justification, explain, justifications
+from repro.engine.supervisor import (
+    Budget,
+    CancelToken,
+    SolveInterrupt,
+    Supervisor,
+    sigint_cancels,
+)
 from repro.engine.tp import apply_tp
 
 __all__ = [
+    "Budget",
+    "CancelToken",
+    "Checkpoint",
+    "CheckpointError",
+    "SolveInterrupt",
+    "Supervisor",
+    "sigint_cancels",
     "Bindings",
     "EvalContext",
     "evaluate_body",

@@ -58,6 +58,7 @@ from repro.engine.grounding import (
     schedule,
     subgoal_readiness,
 )
+from repro.testing import faults as _faults
 from repro.engine.interpretation import Key, Relation
 from repro.util.multiset import FrozenMultiset
 
@@ -346,6 +347,11 @@ class _AggregateStep:
     def prepare(self, ctx: EvalContext) -> None:
         return None
 
+    def _detail(self) -> str:
+        """The aggregate's name, for fault-seam matching."""
+        fn = self.function
+        return getattr(fn, "name", None) or type(fn).__name__
+
     def _project(self, rows: Sequence[List[Any]]) -> FrozenMultiset:
         """SQL projection onto the multiset variable, duplicates retained;
         implicit boolean aggregation counts each solution as 'true'."""
@@ -406,11 +412,15 @@ class _AggregateStep:
                 )
                 groups.setdefault(group_key, []).append(solution)
             for group_key, group_rows in groups.items():
+                if _faults._ACTIVE is not None:  # fault-injection seam
+                    _faults.trip("aggregate_apply", self._detail())
                 value = self.function(self._project(group_rows))
                 self._emit(regs, value, group_key, out)
             return
         if self.restricted and not solutions:
             return
+        if _faults._ACTIVE is not None:  # fault-injection seam
+            _faults.trip("aggregate_apply", self._detail())
         try:
             value = self.function(self._project(solutions))
         except EmptyAggregateError:
@@ -891,6 +901,8 @@ def run_rule(
     rule (``tracer.record_rule``); the untraced path stays lazy and pays
     only the ``enabled`` check.
     """
+    if _faults._ACTIVE is not None:  # fault-injection seam
+        _faults.trip("rule_firing", rule.head.predicate)
     pre_bound = frozenset(seed) if seed else frozenset()
     plan = get_plan(ctx.program, rule, pre_bound, mode=mode, ctx=ctx)
     tracer = ctx.tracer

@@ -37,6 +37,11 @@ from repro.engine.grounding import EvalContext
 from repro.engine.interpretation import Interpretation
 from repro.engine.naive import FixpointResult
 from repro.engine.seminaive import DeltaRows, _delta_seeds
+from repro.engine.supervisor import (
+    NULL_SUPERVISOR,
+    SolveInterrupt,
+    Supervisor,
+)
 from repro.engine.tp import apply_tp
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -74,12 +79,22 @@ def greedy_fixpoint(
     plan: str = "smart",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
+    supervisor: Supervisor = NULL_SUPERVISOR,
+    initial: Optional[Interpretation] = None,
 ) -> FixpointResult:
     """Priority-queue fixpoint of one extremal component.
 
     With an enabled ``tracer`` each *settled* atom emits one
     ``iteration`` event (the greedy analogue of a fixpoint round:
-    exactly one atom becomes final per settle)."""
+    exactly one atom becomes final per settle).
+
+    An active ``supervisor`` is polled per pop and consulted per settle;
+    an interrupt escapes with the settled-so-far state attached — under
+    the Dijkstra invariant every settled value is *final*, so greedy
+    partial results are exact on their domain, not just lower bounds.
+    ``initial`` resumes from a checkpoint: its atoms are pre-settled and
+    the heap is re-seeded by one full ``T_P`` application over them.
+    """
     direction = greedy_applicable(program, component)
     if direction is None:
         raise ReproError(
@@ -95,8 +110,18 @@ def greedy_fixpoint(
     cdb = component.cdb
     rules = list(component.rules)
     j = Interpretation(program.declarations)
+    if initial is not None:
+        # Checkpointed greedy atoms were settled, hence final: restore
+        # them as settled so re-derivation cannot revise them.
+        for name, rel in initial.relations.items():
+            if name not in cdb or not len(rel):
+                continue
+            target = j.relation(name)
+            for key, value in rel.costs.items():
+                target.set_cost(key, value, strict=False)
     ctx = EvalContext(program, cdb, j, i, tracer=tracer)
     track = tracer.enabled
+    supervise = supervisor.active
 
     counter = itertools.count()
     heap: List[Tuple[float, int, str, Tuple[Any, ...]]] = []
@@ -109,53 +134,93 @@ def greedy_fixpoint(
         heap_key = cost if direction == -1 else -cost
         heapq.heappush(heap, (heap_key, next(counter), predicate, args))
 
-    # Seed: one full application against the empty J.
-    seed = apply_tp(
-        program, cdb, j, i, rules=rules, strict=False, plan=plan, tracer=tracer
-    )
-    for name, rel in seed.relations.items():
-        for key, value in rel.costs.items():
-            push(name, key + (value,))
-
-    pops = 0
     settled_count = 0
-    while heap:
-        pops += 1
-        if pops > max_pops:
-            raise ReproError(f"greedy evaluation exceeded {max_pops} pops")
-        _, _, predicate, args = heapq.heappop(heap)
-        rel = j.relation(predicate)
-        key, value = args[:-1], args[-1]
-        existing = rel.costs.get(key)
-        if existing is not None:
-            # Settled already; by the invariant the settled value is final.
-            continue
-        t_settle = tracer.clock() if track else 0.0
-        # set_cost keeps the persistent indexes on ``rel`` consistent, so
-        # the long-lived context sees the settled atom immediately.
-        rel.set_cost(key, value, strict=False)
-        settled_count += 1
-        delta: DeltaRows = {predicate: [args]}
-        for rule in rules:
-            for seed_bindings in _delta_seeds(rule, cdb, delta):
-                for head_pred, head_args in run_rule(
-                    rule, ctx, seed=seed_bindings, mode=plan
-                ):
-                    head_rel = j.relation(head_pred)
-                    if head_args[:-1] in head_rel.costs:
-                        continue
-                    push(head_pred, head_args)
-        if track:
-            tracer.emit(
-                "iteration",
-                scc=scc,
-                iteration=settled_count,
-                delta_atoms=1,
-                new_atoms=1,
-                changed_atoms=0,
-                total_atoms=j.total_size(),
-                wall_s=round(tracer.clock() - t_settle, 6),
+    try:
+        # Seed: one full application against J (empty, or the restored
+        # settled atoms when resuming — their consequences re-derive here,
+        # and already-settled keys are skipped).
+        seed = apply_tp(
+            program,
+            cdb,
+            j,
+            i,
+            rules=rules,
+            strict=False,
+            plan=plan,
+            tracer=tracer,
+            supervisor=supervisor,
+            scc=scc,
+        )
+        for name, rel in seed.relations.items():
+            settled = j.relation(name).costs
+            for key, value in rel.costs.items():
+                if key in settled:
+                    continue
+                push(name, key + (value,))
+
+        pops = 0
+        while heap:
+            pops += 1
+            if pops > max_pops:
+                raise ReproError(f"greedy evaluation exceeded {max_pops} pops")
+            if supervise:
+                supervisor.poll(scc, settled_count)
+            _, _, predicate, args = heapq.heappop(heap)
+            rel = j.relation(predicate)
+            key, value = args[:-1], args[-1]
+            existing = rel.costs.get(key)
+            if existing is not None:
+                # Settled already; by the invariant the settled value is
+                # final.
+                continue
+            t_settle = tracer.clock() if track else 0.0
+            # set_cost keeps the persistent indexes on ``rel`` consistent,
+            # so the long-lived context sees the settled atom immediately.
+            rel.set_cost(key, value, strict=False)
+            settled_count += 1
+            delta: DeltaRows = {predicate: [args]}
+            for rule in rules:
+                for seed_bindings in _delta_seeds(rule, cdb, delta):
+                    for head_pred, head_args in run_rule(
+                        rule, ctx, seed=seed_bindings, mode=plan
+                    ):
+                        head_rel = j.relation(head_pred)
+                        if head_args[:-1] in head_rel.costs:
+                            continue
+                        push(head_pred, head_args)
+            if track:
+                tracer.emit(
+                    "iteration",
+                    scc=scc,
+                    iteration=settled_count,
+                    delta_atoms=1,
+                    new_atoms=1,
+                    changed_atoms=0,
+                    total_atoms=j.total_size(),
+                    wall_s=round(tracer.clock() - t_settle, 6),
+                )
+            if supervise:
+                # One settle = the greedy analogue of a fixpoint round.
+                supervisor.on_round(
+                    scc=scc,
+                    iteration=settled_count,
+                    new_atoms=1,
+                    changed_atoms=0,
+                    total_atoms=j.total_size(),
+                )
+    except SolveInterrupt as interrupt:
+        # Check sites sit between settles, so ``j`` holds only fully
+        # settled (final) atoms.
+        interrupt.attach(
+            FixpointResult(
+                interpretation=j,
+                iterations=settled_count,
+                ascending=True,
+                trajectory=[j.total_size()],
+                status=interrupt.status,
             )
+        )
+        raise
 
     return FixpointResult(
         interpretation=j,

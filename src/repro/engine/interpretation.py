@@ -27,6 +27,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, 
 
 from repro.datalog.errors import CostConsistencyError, ProgramError
 from repro.datalog.program import PredicateDecl
+from repro.testing import faults as _faults
 
 Key = Tuple[Any, ...]
 
@@ -142,13 +143,27 @@ class Relation:
         return len(self.costs) if self.is_cost else len(self.tuples)
 
     # -- mutation ------------------------------------------------------------
+    #
+    # Exception safety (apply-or-rollback): the raw ``tuples``/``costs``
+    # containers are the source of truth and are always left in a valid
+    # state — single-key container writes cannot fail halfway.  The
+    # derived structures (incremental indexes, row cache) *can* be left
+    # half-updated if index maintenance raises (an injected fault, a
+    # pathological __eq__/__hash__ on user values), so every mutator
+    # drops them via ``invalidate_indexes()`` before re-raising: the
+    # logical mutation stays applied and the indexes rebuild lazily from
+    # the containers — consistent by reconstruction, never torn.
 
     def add_tuple(self, key: Key) -> bool:
         """Add an ordinary tuple; True if new."""
         if key in self.tuples:
             return False
         self.tuples.add(key)
-        self._on_insert(key)
+        try:
+            self._on_insert(key)
+        except BaseException:
+            self.invalidate_indexes()
+            raise
         return True
 
     def set_cost(self, key: Key, value: Any, *, strict: bool = True) -> bool:
@@ -171,7 +186,11 @@ class Relation:
         existing = self.costs.get(key)
         if existing is None:
             self.costs[key] = value
-            self._on_insert(key + (value,))
+            try:
+                self._on_insert(key + (value,))
+            except BaseException:
+                self.invalidate_indexes()
+                raise
             return True
         if existing == value:
             return False
@@ -180,17 +199,30 @@ class Relation:
                 f"{self.decl.name}{key}: derived both {existing!r} and "
                 f"{value!r} in one T_P application"
             )
+        # The lattice lub runs *before* any mutation: a raising join
+        # (user-supplied lattice) leaves the relation untouched.
         joined = lattice.join(existing, value)
         if joined == existing:
             return False
         self.costs[key] = joined
-        self._on_replace(key + (existing,), key + (joined,))
+        try:
+            self._on_replace(key + (existing,), key + (joined,))
+        except BaseException:
+            self.invalidate_indexes()
+            raise
         return True
 
     def merge_tuples(self, keys: Set[Key]) -> None:
-        """Bulk-union ordinary tuples; invalidates live indexes."""
-        self.tuples |= keys
-        self.invalidate_indexes()
+        """Bulk-union ordinary tuples; invalidates live indexes.
+
+        ``keys`` is materialized first so an iterable that raises
+        mid-iteration mutates nothing.
+        """
+        pending = keys if isinstance(keys, (set, frozenset)) else set(keys)
+        try:
+            self.tuples |= pending
+        finally:
+            self.invalidate_indexes()
 
     def invalidate_indexes(self) -> None:
         """Drop every live index and row cache (after direct mutation)."""
@@ -203,6 +235,8 @@ class Relation:
     # -- index maintenance ------------------------------------------------------
 
     def _on_insert(self, row: Key) -> None:
+        if _faults._ACTIVE is not None:  # fault-injection seam
+            _faults.trip("index_update", self.decl.name, self)
         gen = self.generation
         self.generation = gen + 1
         if self._rows_cache is not None and self._rows_cache_gen == gen:
@@ -213,6 +247,8 @@ class Relation:
             index.setdefault(bucket_key, []).append(row)
 
     def _on_replace(self, old_row: Key, new_row: Key) -> None:
+        if _faults._ACTIVE is not None:  # fault-injection seam
+            _faults.trip("index_update", self.decl.name, self)
         # Cost value changed in place: the row cache position is unknown,
         # so it is invalidated (rebuilt at most once per generation).
         self.generation += 1

@@ -20,6 +20,11 @@ from typing import Callable, Dict, FrozenSet, List, Optional
 from repro.datalog.errors import NonTerminationError
 from repro.datalog.program import Program
 from repro.engine.interpretation import Interpretation, delta_counts
+from repro.engine.supervisor import (
+    NULL_SUPERVISOR,
+    SolveInterrupt,
+    Supervisor,
+)
 from repro.engine.tp import apply_tp
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -33,6 +38,10 @@ class FixpointResult:
     ascending: bool
     #: Sizes of successive interpretations (diagnostics / benches).
     trajectory: List[int] = field(default_factory=list)
+    #: ``"complete"`` for a reached fixpoint; a supervised interrupt
+    #: leaves the sound-so-far state here tagged with its
+    #: :data:`~repro.engine.supervisor.STATUSES` value.
+    status: str = "complete"
 
 
 def kleene_fixpoint(
@@ -46,6 +55,8 @@ def kleene_fixpoint(
     plan: str = "smart",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
+    supervisor: Supervisor = NULL_SUPERVISOR,
+    initial: Optional[Interpretation] = None,
 ) -> FixpointResult:
     """Iterate ``J ← T_P(J, I)`` from ``J_∅`` until a fixpoint.
 
@@ -57,18 +68,54 @@ def kleene_fixpoint(
     With an enabled ``tracer`` one ``iteration`` event is emitted per
     ``T_P`` application (so the final, unchanged round appears too),
     tagged with component index ``scc``.
+
+    An active ``supervisor`` is polled inside each ``T_P`` application
+    and consulted at every round boundary; on interrupt the sound
+    last-completed round is attached to the escaping
+    :class:`~repro.engine.supervisor.SolveInterrupt`.  ``initial`` seeds
+    the iteration from a checkpointed lower bound instead of ``J_∅``;
+    iterates then go through the inflationary ``J ⊔ T_P(J, I)``, which
+    converges to the same least fixpoint (checkpoints are taken at round
+    boundaries, so resumed chains replay the uninterrupted ones).
     """
-    j = Interpretation(program.declarations)
+    resumed = initial is not None
+    j = initial.copy() if resumed else Interpretation(program.declarations)
     ascending = True
     trajectory: List[int] = []
     seen: Dict[int, int] = {j.fingerprint(): 0}
+    supervise = supervisor.active
     for step in range(1, max_iterations + 1):
         t_round = tracer.clock() if tracer.enabled else 0.0
-        j_next = apply_tp(
-            program, cdb, j, i, strict=strict, plan=plan, tracer=tracer
-        )
-        if tracer.enabled:
+        try:
+            j_next = apply_tp(
+                program,
+                cdb,
+                j,
+                i,
+                strict=strict,
+                plan=plan,
+                tracer=tracer,
+                supervisor=supervisor,
+                scc=scc,
+            )
+        except SolveInterrupt as interrupt:
+            # Mid-round: the staging output is discarded; ``j`` is the
+            # last complete (hence sound) iterate.
+            interrupt.attach(
+                FixpointResult(
+                    interpretation=j,
+                    iterations=step - 1,
+                    ascending=ascending,
+                    trajectory=trajectory,
+                    status=interrupt.status,
+                )
+            )
+            raise
+        if resumed:
+            j_next = j.join(j_next)
+        if tracer.enabled or supervise:
             new_atoms, changed = delta_counts(j, j_next)
+        if tracer.enabled:
             tracer.emit(
                 "iteration",
                 scc=scc,
@@ -101,6 +148,26 @@ def kleene_fixpoint(
             )
         seen[fp] = step
         j = j_next
+        if supervise:
+            try:
+                supervisor.on_round(
+                    scc=scc,
+                    iteration=step,
+                    new_atoms=new_atoms,
+                    changed_atoms=changed,
+                    total_atoms=j.total_size(),
+                )
+            except SolveInterrupt as interrupt:
+                interrupt.attach(
+                    FixpointResult(
+                        interpretation=j,
+                        iterations=step,
+                        ascending=ascending,
+                        trajectory=trajectory,
+                        status=interrupt.status,
+                    )
+                )
+                raise
     raise NonTerminationError(
         f"no fixpoint after {max_iterations} iterations "
         f"({'still ascending — may require transfinite iteration' if ascending else 'not ascending'})",

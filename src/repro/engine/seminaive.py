@@ -36,6 +36,11 @@ from repro.engine.exec import run_rule
 from repro.engine.grounding import Bindings, EvalContext
 from repro.engine.interpretation import Interpretation
 from repro.engine.naive import FixpointResult
+from repro.engine.supervisor import (
+    NULL_SUPERVISOR,
+    SolveInterrupt,
+    Supervisor,
+)
 from repro.engine.tp import apply_tp
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -208,6 +213,8 @@ def seminaive_fixpoint(
     plan: str = "smart",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
+    supervisor: Supervisor = NULL_SUPERVISOR,
+    initial: Optional[Interpretation] = None,
 ) -> FixpointResult:
     """Delta-driven fixpoint of one monotonic component.
 
@@ -215,89 +222,156 @@ def seminaive_fixpoint(
     round (tagged with component index ``scc``), carrying the delta fed
     to the next round split into new atoms and changed-cost (lattice
     merge) atoms.
+
+    An active ``supervisor`` is polled at each rule/seed boundary and
+    consulted per round; an interrupt escapes with the last consistent
+    ``J`` and the pending delta frontier attached.  ``initial`` resumes
+    from a checkpointed lower bound: round 0 re-derives over it (one
+    full ``T_P`` application, joined in), so a stale or missing frontier
+    cannot lose derivations — semi-naive pinning is only a shortcut for
+    work the full round would repeat.
     """
     rules = [r for r in program.rules if r.head.predicate in cdb]
-    empty = Interpretation(program.declarations)
+    resumed = initial is not None
+    start = initial.copy() if resumed else Interpretation(program.declarations)
     track = tracer.enabled
+    supervise = supervisor.active
 
-    # Round 0: one full naive T_P application.
-    t_round = tracer.clock() if track else 0.0
-    j = apply_tp(program, cdb, empty, i, strict=True, plan=plan, tracer=tracer)
-    delta = _delta_between(empty, j)
-    trajectory = [j.total_size()]
-    iterations = 1
-    if track:
-        seeded = sum(len(rows) for rows in delta.values())
-        tracer.emit(
-            "iteration",
-            scc=scc,
-            iteration=1,
-            delta_atoms=seeded,
-            new_atoms=seeded,
-            changed_atoms=0,
-            total_atoms=j.total_size(),
-            wall_s=round(tracer.clock() - t_round, 6),
-        )
-
-    # Rules that read no CDB predicate can never fire on a delta.
-    dependent_rules = [
-        r for r in rules if any(p in cdb for p in r.body_predicates())
-    ]
-
-    # One context for the whole fixpoint: the persistent indexes on the
-    # relations of ``j`` and ``i`` survive across rounds and are updated
-    # in place by ``_apply_derivation``'s mutator calls, so each round
-    # touches only its delta instead of re-hashing every relation.
-    ctx = EvalContext(program, cdb, j, i, tracer=tracer)
-
-    while delta:
-        if iterations >= max_iterations:
-            raise NonTerminationError(
-                f"semi-naive evaluation did not converge after "
-                f"{max_iterations} rounds",
-                ascending=True,
-            )
+    j = start
+    delta: DeltaRows = {}
+    trajectory: List[int] = []
+    iterations = 0
+    try:
+        # Round 0: one full naive T_P application (over the checkpointed
+        # state when resuming; conflicting cost derivations then join
+        # instead of raising, as the checkpoint may already hold values
+        # above any single rule instance's derivation).
         t_round = tracer.clock() if track else 0.0
-        derived: List[Tuple[str, Tuple[Any, ...]]] = []
-        for rule in dependent_rules:
-            for seed in _delta_seeds(rule, cdb, delta):
-                derived.extend(run_rule(rule, ctx, seed=seed, mode=plan))
-        new_delta: DeltaRows = {}
-        new_atoms = changed_atoms = 0
-        for predicate, args in derived:
-            rel = j.relation(predicate)
-            if track:
-                existed = (
-                    args[:-1] in rel.costs
-                    if rel.is_cost
-                    else args in rel.tuples
-                )
-            if _apply_derivation(j, predicate, args):
-                if track:
-                    if existed:
-                        changed_atoms += 1
-                    else:
-                        new_atoms += 1
-                if rel.is_cost:
-                    key = args[:-1]
-                    row = key + (rel.costs[key],)  # the value after joining
-                else:
-                    row = args
-                new_delta.setdefault(predicate, []).append(row)
-        delta = new_delta
+        out = apply_tp(
+            program,
+            cdb,
+            start,
+            i,
+            strict=not resumed,
+            plan=plan,
+            tracer=tracer,
+            supervisor=supervisor,
+            scc=scc,
+        )
+        j = start.join(out) if resumed else out
+        delta = _delta_between(start, j)
         trajectory.append(j.total_size())
-        iterations += 1
+        iterations = 1
         if track:
+            seeded = sum(len(rows) for rows in delta.values())
             tracer.emit(
                 "iteration",
                 scc=scc,
-                iteration=iterations,
-                delta_atoms=sum(len(rows) for rows in delta.values()),
-                new_atoms=new_atoms,
-                changed_atoms=changed_atoms,
+                iteration=1,
+                delta_atoms=seeded,
+                new_atoms=seeded,
+                changed_atoms=0,
                 total_atoms=j.total_size(),
                 wall_s=round(tracer.clock() - t_round, 6),
             )
+        if supervise:
+            seeded = sum(len(rows) for rows in delta.values())
+            supervisor.on_round(
+                scc=scc,
+                iteration=1,
+                new_atoms=seeded,
+                changed_atoms=0,
+                total_atoms=j.total_size(),
+            )
+
+        # Rules that read no CDB predicate can never fire on a delta.
+        dependent_rules = [
+            r for r in rules if any(p in cdb for p in r.body_predicates())
+        ]
+
+        # One context for the whole fixpoint: the persistent indexes on
+        # the relations of ``j`` and ``i`` survive across rounds and are
+        # updated in place by ``_apply_derivation``'s mutator calls, so
+        # each round touches only its delta instead of re-hashing every
+        # relation.
+        ctx = EvalContext(program, cdb, j, i, tracer=tracer)
+
+        while delta:
+            if iterations >= max_iterations:
+                raise NonTerminationError(
+                    f"semi-naive evaluation did not converge after "
+                    f"{max_iterations} rounds",
+                    ascending=True,
+                )
+            t_round = tracer.clock() if track else 0.0
+            derived: List[Tuple[str, Tuple[Any, ...]]] = []
+            for rule in dependent_rules:
+                for seed in _delta_seeds(rule, cdb, delta):
+                    if supervise:
+                        # Rule-firing boundary: ``j`` is untouched until
+                        # the whole round's derivations apply below.
+                        supervisor.poll(scc, iterations)
+                    derived.extend(run_rule(rule, ctx, seed=seed, mode=plan))
+            new_delta: DeltaRows = {}
+            new_atoms = changed_atoms = 0
+            count = track or supervise
+            for predicate, args in derived:
+                rel = j.relation(predicate)
+                if count:
+                    existed = (
+                        args[:-1] in rel.costs
+                        if rel.is_cost
+                        else args in rel.tuples
+                    )
+                if _apply_derivation(j, predicate, args):
+                    if count:
+                        if existed:
+                            changed_atoms += 1
+                        else:
+                            new_atoms += 1
+                    if rel.is_cost:
+                        key = args[:-1]
+                        row = key + (rel.costs[key],)  # value after joining
+                    else:
+                        row = args
+                    new_delta.setdefault(predicate, []).append(row)
+            delta = new_delta
+            trajectory.append(j.total_size())
+            iterations += 1
+            if track:
+                tracer.emit(
+                    "iteration",
+                    scc=scc,
+                    iteration=iterations,
+                    delta_atoms=sum(len(rows) for rows in delta.values()),
+                    new_atoms=new_atoms,
+                    changed_atoms=changed_atoms,
+                    total_atoms=j.total_size(),
+                    wall_s=round(tracer.clock() - t_round, 6),
+                )
+            if supervise:
+                supervisor.on_round(
+                    scc=scc,
+                    iteration=iterations,
+                    new_atoms=new_atoms,
+                    changed_atoms=changed_atoms,
+                    total_atoms=j.total_size(),
+                )
+    except SolveInterrupt as interrupt:
+        # ``j`` only mutates in the apply-derivations block, which has no
+        # check sites — at every interrupt point it is a consistent
+        # (sound) round-boundary state.
+        interrupt.attach(
+            FixpointResult(
+                interpretation=j,
+                iterations=iterations,
+                ascending=True,
+                trajectory=trajectory,
+                status=interrupt.status,
+            ),
+            frontier=delta,
+        )
+        raise
 
     return FixpointResult(
         interpretation=j,

@@ -36,9 +36,11 @@ from typing import Dict, List, Literal, Optional, Tuple
 
 from repro.analysis.classify import classify_program
 from repro.analysis.dependencies import Component, condense
+from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.report import AnalysisReport, analyze_program
 from repro.datalog.errors import NotAdmissibleError, SafetyError
 from repro.datalog.program import Program
+from repro.engine.checkpoint import Checkpoint
 from repro.engine.interpretation import (
     IndexStats,
     Interpretation,
@@ -47,6 +49,14 @@ from repro.engine.interpretation import (
 from repro.engine.greedy import greedy_applicable, greedy_fixpoint
 from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.supervisor import (
+    NULL_SUPERVISOR,
+    Budget,
+    CancelToken,
+    SolveInterrupt,
+    Supervisor,
+    component_unbounded,
+)
 from repro.obs.summary import TelemetrySummary, summarize
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -69,9 +79,27 @@ class SolveResult:
     #: Structured telemetry digest (per-rule / per-iteration tables);
     #: None unless the solve ran with a collecting tracer.
     telemetry: Optional[TelemetrySummary] = None
+    #: ``"complete"``, or the supervised interrupt's
+    #: :data:`~repro.engine.supervisor.STATUSES` value; with any status
+    #: other than ``"complete"``, ``model`` is the sound-so-far lower
+    #: bound of the true minimal model (exact below
+    #: ``interrupted_component``).
+    status: str = "complete"
+    #: Human-readable interrupt cause (empty when complete).
+    reason: str = ""
+    #: Resumable snapshot of ``model``; set iff the solve was interrupted.
+    checkpoint: Optional[Checkpoint] = None
+    #: MAD7xx divergence findings the supervisor raised while running.
+    runtime_diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Bottom-up index of the component the interrupt landed in.
+    interrupted_component: Optional[int] = None
 
     #: Set by solve(); used by explain().
     program: Optional[Program] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
 
     @property
     def total_iterations(self) -> int:
@@ -113,6 +141,9 @@ def solve(
     max_iterations: int = 100_000,
     plan: str = "smart",
     tracer: Optional[Tracer] = None,
+    budget: Optional[Budget] = None,
+    cancel: Optional[CancelToken] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> SolveResult:
     """Compute the iterated minimal model of ``program`` over ``edb``.
 
@@ -128,6 +159,14 @@ def solve(
     ``tracer`` opts the solve into the telemetry layer
     (:mod:`repro.obs`); the resulting digest lands on
     :attr:`SolveResult.telemetry`.
+
+    ``budget`` / ``cancel`` opt the solve into supervision
+    (:mod:`repro.engine.supervisor`): instead of spinning until killed,
+    an over-budget, diverging or cancelled solve returns a
+    ``SolveResult`` with ``status != "complete"``, the sound-so-far
+    partial model and a resumable :attr:`SolveResult.checkpoint`.
+    ``resume`` seeds evaluation from such a checkpoint; the final model
+    is identical to an uninterrupted solve's.  See docs/ROBUSTNESS.md.
     """
     t = tracer if tracer is not None else NULL_TRACER
     # Index counters are solve-scoped even when untraced, so concurrent
@@ -142,7 +181,30 @@ def solve(
             max_iterations=max_iterations,
             plan=plan,
             tracer=t,
+            budget=budget,
+            cancel=cancel,
+            resume=resume,
         )
+
+
+def _component_initial(
+    state: Interpretation, component: Component, program: Program
+) -> Interpretation:
+    """The restriction of ``state`` to the component's CDB predicates —
+    the evaluator's resume seed (the rest of ``state`` is its ``I``)."""
+    initial = Interpretation(program.declarations)
+    for predicate in component.cdb:
+        src = state.relations.get(predicate)
+        if src is None or not len(src):
+            continue
+        dst = initial.relation(predicate)
+        if src.is_cost:
+            for key, value in src.costs.items():
+                dst.set_cost(key, value, strict=False)
+        else:
+            for key in src.tuples:
+                dst.add_tuple(key)
+    return initial
 
 
 def _solve_traced(
@@ -154,6 +216,9 @@ def _solve_traced(
     max_iterations: int,
     plan: str,
     tracer: Tracer,
+    budget: Optional[Budget] = None,
+    cancel: Optional[CancelToken] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> SolveResult:
     tracer.start(program.name)
     t_solve = tracer.clock()
@@ -210,7 +275,18 @@ def _solve_traced(
             for c in classification.components
         }
 
+    supervisor = (
+        Supervisor(budget, cancel, tracer=tracer)
+        if budget is not None or cancel is not None
+        else NULL_SUPERVISOR
+    )
+
     state = edb.copy() if edb is not None else Interpretation(program.declarations)
+    if resume is not None:
+        # The checkpoint state already contains the EDB it was solved
+        # over; joining (rather than replacing) keeps any facts the
+        # caller added since — they participate via re-derivation.
+        state = state.join(resume.restore(program))
     result = SolveResult(model=state, analysis=analysis, program=program)
     for index, component in enumerate(condense(program)):
         chosen = (
@@ -222,6 +298,21 @@ def _solve_traced(
             # Greedy applies to extremal components only; other components
             # of the same program fall through to the naive evaluator.
             chosen = "naive"
+        initial = (
+            _component_initial(state, component, program)
+            if resume is not None
+            else None
+        )
+        if supervisor.active:
+            # The component's own (checkpointed) atoms come back as the
+            # evaluator's total_atoms; don't double-count them.
+            base = state.total_size()
+            if initial is not None:
+                base -= initial.total_size()
+            supervisor.enter_component(
+                base_atoms=base,
+                watch_spiral=component_unbounded(program, component.cdb),
+            )
         if tracer.enabled:
             verdict, reasons = verdicts.get(component.cdb, (None, ()))
             tracer.emit(
@@ -234,37 +325,75 @@ def _solve_traced(
                 rules=len(component.rules),
             )
             t_scc = tracer.clock()
-        if chosen == "seminaive":
-            fixpoint = seminaive_fixpoint(
+        try:
+            if chosen == "seminaive":
+                fixpoint = seminaive_fixpoint(
+                    program,
+                    component.cdb,
+                    state,
+                    max_iterations=max_iterations,
+                    plan=plan,
+                    tracer=tracer,
+                    scc=index,
+                    supervisor=supervisor,
+                    initial=initial,
+                )
+            elif chosen == "greedy":
+                fixpoint = greedy_fixpoint(
+                    program,
+                    component,
+                    state,
+                    assume_invariant=True,
+                    plan=plan,
+                    tracer=tracer,
+                    scc=index,
+                    supervisor=supervisor,
+                    initial=initial,
+                )
+            else:
+                fixpoint = kleene_fixpoint(
+                    program,
+                    component.cdb,
+                    state,
+                    max_iterations=max_iterations,
+                    strict=True,
+                    plan=plan,
+                    tracer=tracer,
+                    scc=index,
+                    supervisor=supervisor,
+                    initial=initial,
+                )
+        except SolveInterrupt as interrupt:
+            # Graceful degradation: fold the evaluator's sound partial
+            # state into the model, snapshot a resumable checkpoint, and
+            # report instead of raising.
+            partial = interrupt.partial
+            if partial is not None:
+                state = state.join(partial.interpretation)
+                result.components.append(component)
+                result.component_methods.append(chosen)
+                result.component_results.append(partial)
+            result.status = interrupt.status
+            result.reason = interrupt.reason
+            result.interrupted_component = index
+            result.model = state
+            result.checkpoint = Checkpoint.capture(
                 program,
-                component.cdb,
                 state,
-                max_iterations=max_iterations,
-                plan=plan,
-                tracer=tracer,
-                scc=index,
+                status=interrupt.status,
+                reason=interrupt.reason,
+                component=index,
+                iterations=result.total_iterations,
+                frontier=interrupt.frontier,
             )
-        elif chosen == "greedy":
-            fixpoint = greedy_fixpoint(
-                program,
-                component,
-                state,
-                assume_invariant=True,
-                plan=plan,
-                tracer=tracer,
-                scc=index,
-            )
-        else:
-            fixpoint = kleene_fixpoint(
-                program,
-                component.cdb,
-                state,
-                max_iterations=max_iterations,
-                strict=True,
-                plan=plan,
-                tracer=tracer,
-                scc=index,
-            )
+            if tracer.enabled:
+                tracer.emit(
+                    "checkpoint",
+                    status=interrupt.status,
+                    component=index,
+                    atoms=state.total_size(),
+                )
+            break
         if tracer.enabled:
             tracer.emit(
                 "scc_end",
@@ -279,6 +408,7 @@ def _solve_traced(
         result.component_methods.append(chosen)
         result.component_results.append(fixpoint)
     result.model = state
+    result.runtime_diagnostics = list(supervisor.diagnostics)
     if tracer.enabled:
         _flush_telemetry(tracer, program, result, t_solve)
         if tracer.collect:

@@ -23,6 +23,7 @@ from repro.datalog.rules import Rule
 from repro.engine.exec import run_rule
 from repro.engine.grounding import EvalContext
 from repro.engine.interpretation import Interpretation
+from repro.engine.supervisor import NULL_SUPERVISOR, Supervisor
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
@@ -38,6 +39,8 @@ def apply_tp(
     aggregate_source: Optional[Interpretation] = None,
     plan: str = "smart",
     tracer: Tracer = NULL_TRACER,
+    supervisor: Supervisor = NULL_SUPERVISOR,
+    scc: Optional[int] = None,
 ) -> Interpretation:
     """One application of ``T_P`` for the component with head set ``cdb``.
 
@@ -49,6 +52,10 @@ def apply_tp(
     interpretation (reducts, Sections 5.3–5.5).  Rule bodies run through
     the compiled execution layer (:mod:`repro.engine.exec`); ``plan``
     selects the join-ordering mode (``"smart"`` | ``"off"``).
+
+    An active ``supervisor`` is polled between rules (a rule-firing
+    boundary): the staging interpretation ``out`` is discarded on
+    interrupt, so ``j`` and ``i`` are never observed half-updated.
     """
     if rules is None:
         rules = [r for r in program.rules if r.head.predicate in cdb]
@@ -62,7 +69,10 @@ def apply_tp(
         tracer=tracer,
     )
     out = Interpretation(program.declarations)
+    check = supervisor.active
     for rule in rules:
+        if check:
+            supervisor.poll(scc)
         for predicate, args in run_rule(rule, ctx, mode=plan):
             rel = out.relation(predicate)
             if rel.is_cost:

@@ -16,6 +16,11 @@ description of every event.
 
 Bump :data:`SCHEMA_VERSION` whenever a field is added, removed or
 changes meaning.
+
+Version history: v1 — initial schema; v2 — supervision events
+(``budget_exceeded``, ``cancelled``, ``checkpoint``,
+``divergence_warning``) for budgeted/cancellable solves (see
+docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Version stamped into every event's ``v`` field.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _NUM = (int, float)
 _OPT_STR = (str, type(None))
@@ -90,6 +95,33 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[Tuple[type, ...], bool]]] = {
         "iterations": ((int,), True),
         "atoms": ((int,), True),
         "wall_s": (_NUM, True),
+    },
+    # -- supervision events (v2): budgets, cancellation, divergence ----
+    # A resource budget tripped; the solve degrades to a partial result.
+    "budget_exceeded": {
+        "kind": ((str,), True),  # timeout | iterations | atoms | ...
+        "limit": (_NUM, True),
+        "scc": (_OPT_INT, False),
+        "iteration": (_OPT_INT, False),
+    },
+    # A CancelToken fired (caller or SIGINT); honored at a safe boundary.
+    "cancelled": {
+        "scc": (_OPT_INT, False),
+        "iteration": (_OPT_INT, False),
+    },
+    # The solver snapshotted a resumable checkpoint of the partial model.
+    "checkpoint": {
+        "status": ((str,), True),
+        "component": ((int,), True),
+        "atoms": ((int,), True),
+        "path": (_OPT_STR, False),
+    },
+    # A divergence heuristic flagged the running fixpoint (MAD7xx).
+    "divergence_warning": {
+        "code": ((str,), True),
+        "scc": ((int,), True),
+        "iteration": ((int,), True),
+        "detail": ((str,), True),
     },
 }
 

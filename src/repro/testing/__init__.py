@@ -1,0 +1,22 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the robustness suite uses to prove the engine either completes
+or fails cleanly (docs/ROBUSTNESS.md).
+"""
+
+from repro.testing.faults import (  # noqa: F401
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    check_relation_indexes,
+    inject,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "check_relation_indexes",
+    "inject",
+]

@@ -164,4 +164,5 @@ class TestBenchCli:
         assert code == 1
 
     def test_bench_unknown_workload_errors(self):
-        assert main(["bench", "--workload", "warp-drive"]) == 2
+        # Usage-class mistake: exit 1 (see the CLI exit-code taxonomy).
+        assert main(["bench", "--workload", "warp-drive"]) == 1

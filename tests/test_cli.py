@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -56,10 +58,11 @@ class TestSolve:
         assert "error" in capsys.readouterr().err
 
     def test_unknown_builtin(self, capsys):
-        assert main(["solve", "--program", "no-such"]) == 2
+        # Usage-class mistake: exit 1, not the diagnostics exit 2.
+        assert main(["solve", "--program", "no-such"]) == 1
 
     def test_missing_file(self, capsys):
-        assert main(["solve", "/nonexistent/file.mad"]) == 2
+        assert main(["solve", "/nonexistent/file.mad"]) == 1
 
 
 class TestTelemetrySurfaces:
@@ -122,8 +125,56 @@ class TestAnalyze:
         assert main(["analyze", rules]) == 0
         assert "admissible/monotonic:  True" in capsys.readouterr().out
 
-    def test_non_admissible_exit_one(self, capsys):
-        assert main(["analyze", "--program", "two-minimal-models"]) == 1
+    def test_non_admissible_exits_diagnostics(self, capsys):
+        assert main(["analyze", "--program", "two-minimal-models"]) == 2
+
+
+class TestSupervisionFlags:
+    DIVERGING = str(
+        Path(__file__).resolve().parent.parent / "examples" / "diverging.mad"
+    )
+
+    def test_timeout_on_diverging_exits_budget_code(self, capsys):
+        assert main(["solve", self.DIVERGING, "--timeout", "0.5"]) == 4
+        captured = capsys.readouterr()
+        assert "solve interrupted (timeout" in captured.err
+        assert "MAD701" in captured.err
+        # The sound partial model was still printed.
+        assert "s(" in captured.out
+
+    def test_on_divergence_abort_exits_budget_code(self, capsys):
+        code = main(["solve", self.DIVERGING, "--on-divergence", "abort"])
+        assert code == 4
+        assert "diverging" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_matches_plain_solve(
+        self, sp_files, tmp_path, capsys
+    ):
+        rules, facts = sp_files
+        ckpt = tmp_path / "solve.ckpt.json"
+        code = main(
+            ["solve", rules, "--facts", facts, "--max-iterations", "1",
+             "--checkpoint", str(ckpt), "--query", "s"]
+        )
+        assert code == 4
+        assert ckpt.exists()
+        assert "checkpoint written" in capsys.readouterr().err
+
+        code = main(
+            ["solve", rules, "--facts", facts, "--resume", str(ckpt),
+             "--query", "s"]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+
+        assert main(["solve", rules, "--facts", facts, "--query", "s"]) == 0
+        assert resumed == capsys.readouterr().out
+
+    def test_bad_flag_exits_usage(self, capsys):
+        assert main(["solve", "--no-such-flag"]) == 1
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
 
 
 def test_examples_lists_catalog(capsys):

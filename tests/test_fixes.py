@@ -189,7 +189,8 @@ class TestCliFix:
         capsys.readouterr()
 
     def test_fix_rejects_builtin_programs(self, capsys):
-        assert main(["lint", "--program", "shortest-path", "--fix"]) == 2
+        # Usage-class mistake: exit 1 (see the CLI exit-code taxonomy).
+        assert main(["lint", "--program", "shortest-path", "--fix"]) == 1
         assert "built-in" in capsys.readouterr().err
 
     def test_fixes_serialized_in_json(self, tmp_path, capsys):

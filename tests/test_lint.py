@@ -85,7 +85,12 @@ def test_corpus_diagnostics_are_located_and_explained(path):
 
 
 def test_corpus_covers_every_code():
-    """Each registered error/warning code has at least one trigger file."""
+    """Each registered error/warning code has at least one trigger file.
+
+    MAD7xx are runtime divergence findings raised by the engine
+    supervisor, not by any static pass — no lint corpus file can trigger
+    them (tests/test_supervisor.py covers them instead).
+    """
     covered = set()
     for path in CORPUS:
         covered.update(expected_codes(path.read_text(encoding="utf-8")))
@@ -93,6 +98,7 @@ def test_corpus_covers_every_code():
         entry.code
         for entry in BY_CODE.values()
         if entry.severity > Severity.INFO
+        and not entry.code.startswith("MAD7")
     } - covered
     assert not uncovered, f"codes without a corpus trigger: {uncovered}"
 
@@ -313,5 +319,6 @@ def test_cli_lint_explain(tmp_path, capsys):
 
 
 def test_cli_lint_requires_input(capsys):
-    assert main(["lint"]) == 2
+    # Usage-class mistake: exit 1 (see the CLI exit-code taxonomy).
+    assert main(["lint"]) == 1
     assert "nothing to lint" in capsys.readouterr().err

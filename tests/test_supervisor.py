@@ -1,0 +1,333 @@
+"""Solve supervision: budgets, cancellation, divergence, checkpoint/resume.
+
+Covers the runtime-only MAD7xx diagnostics (which the lint corpus test
+deliberately exempts) and the acceptance properties of
+docs/ROBUSTNESS.md: a diverging program under a budget stops in bounded
+time with a sound partial model and a resumable checkpoint, and a
+resumed solve reproduces the uninterrupted model exactly, per evaluator.
+"""
+
+import json
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Budget, CancelToken, Checkpoint, Database, sigint_cancels
+from repro.engine.checkpoint import CheckpointError
+from repro.engine.supervisor import (
+    NULL_SUPERVISOR,
+    SolveInterrupt,
+    Supervisor,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SHORTEST_PATH = (EXAMPLES / "shortest_path.mad").read_text(encoding="utf-8")
+DIVERGING = (EXAMPLES / "diverging.mad").read_text(encoding="utf-8")
+
+METHODS = ("naive", "seminaive", "greedy")
+
+
+def make_db(source: str) -> Database:
+    db = Database()
+    db.load(source)
+    return db
+
+
+def snapshot(model) -> dict:
+    """Canonical {predicate: sorted rows} view of an interpretation."""
+    return {
+        name: sorted(rel.rows(), key=repr)
+        for name, rel in model.relations.items()
+        if len(rel)
+    }
+
+
+class TestBudgetValidation:
+    def test_rejects_bad_on_divergence(self):
+        with pytest.raises(ValueError):
+            Budget(on_divergence="explode")
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            Budget(divergence_window=1)
+
+    def test_bounded_property(self):
+        assert not Budget().bounded
+        assert Budget(timeout=1.0).bounded
+        assert Budget(max_atoms=10).bounded
+        assert not Budget(on_divergence="abort").bounded
+
+    def test_null_supervisor_is_inert(self):
+        assert not NULL_SUPERVISOR.active
+        # The inactive fast paths must be no-ops, not raises.
+        NULL_SUPERVISOR.poll()
+        NULL_SUPERVISOR.on_round(
+            scc=0, iteration=1, new_atoms=0, changed_atoms=0, total_atoms=0
+        )
+        assert Supervisor.disabled().active is False
+
+
+class TestTimeoutOnDivergingProgram:
+    def test_bounded_time_partial_model_and_checkpoint(self):
+        db = make_db(DIVERGING)
+        t0 = time.monotonic()
+        result = db.solve(budget=Budget(timeout=0.5))
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30  # bounded, with generous CI slack
+        assert result.status == "timeout"
+        assert not result.complete
+        assert "wall-clock" in result.reason
+        # The partial model is a sound lower bound: the direct arcs are in.
+        assert len(result.model.relation("s")) >= 3
+        assert result.checkpoint is not None
+        assert result.checkpoint.total_atoms > 0
+        # The cost-spiral heuristic saw the negative cycle on the way.
+        codes = {d.code for d in result.runtime_diagnostics}
+        assert "MAD701" in codes
+
+    def test_divergence_abort_stops_without_timeout(self):
+        db = make_db(DIVERGING)
+        result = db.solve(budget=Budget(on_divergence="abort"))
+        assert result.status == "diverging"
+        assert "MAD701" in result.reason
+        assert result.checkpoint is not None
+
+    def test_divergence_warn_keeps_diagnostic_structured(self):
+        db = make_db(DIVERGING)
+        result = db.solve(budget=Budget(timeout=0.5))
+        spiral = [
+            d for d in result.runtime_diagnostics if d.code == "MAD701"
+        ]
+        assert spiral
+        assert spiral[0].severity.name == "WARNING"
+        assert "unbounded cost domain" in spiral[0].message
+
+
+class TestIterationAndAtomBudgets:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_iteration_budget_gives_partial(self, method):
+        db = make_db(SHORTEST_PATH)
+        result = db.solve(method=method, budget=Budget(max_iterations=1))
+        assert result.status == "partial"
+        assert "fixpoint-round budget" in result.reason
+        assert result.checkpoint is not None
+        assert result.interrupted_component is not None
+
+    def test_atom_budget_gives_partial(self):
+        db = make_db(DIVERGING)
+        result = db.solve(budget=Budget(max_atoms=6))
+        assert result.status == "partial"
+        assert "derived-atom budget" in result.reason
+
+    def test_cost_update_budget_gives_partial(self):
+        db = make_db(DIVERGING)
+        result = db.solve(budget=Budget(max_cost_updates=20))
+        assert result.status == "partial"
+        assert "cost-update budget" in result.reason
+
+    def test_ample_budget_still_completes(self):
+        db = make_db(SHORTEST_PATH)
+        result = db.solve(
+            budget=Budget(timeout=120.0, max_iterations=10_000)
+        )
+        assert result.status == "complete"
+        assert result.complete
+        assert result.checkpoint is None
+        full = make_db(SHORTEST_PATH).solve()
+        assert snapshot(result.model) == snapshot(full.model)
+
+
+class TestCancellation:
+    def test_pre_cancelled_token(self):
+        db = make_db(SHORTEST_PATH)
+        token = CancelToken()
+        token.cancel("told you so")
+        result = db.solve(cancel=token)
+        assert result.status == "cancelled"
+        assert result.reason == "told you so"
+        assert result.checkpoint is not None
+
+    def test_cancel_from_another_thread(self):
+        db = make_db(DIVERGING)
+        token = CancelToken()
+        timer = threading.Timer(0.2, token.cancel, args=("timer",))
+        timer.start()
+        try:
+            t0 = time.monotonic()
+            result = db.solve(cancel=token)
+        finally:
+            timer.cancel()
+        assert result.status == "cancelled"
+        assert time.monotonic() - t0 < 30
+        # The database stays queryable after cancellation.
+        assert db.query("s") is not None
+
+    def test_cancel_reason_is_idempotent(self):
+        token = CancelToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+
+    def test_sigint_mid_solve_cancels_gracefully(self):
+        from repro.testing import Fault, FaultPlan, inject
+
+        db = make_db(DIVERGING)
+        token = CancelToken()
+        plan = FaultPlan(
+            [
+                Fault(
+                    "rule_firing",
+                    action="call",
+                    at=40,
+                    call=lambda seam, detail: signal.raise_signal(
+                        signal.SIGINT
+                    ),
+                )
+            ]
+        )
+        with sigint_cancels(token):
+            with inject(plan):
+                result = db.solve(cancel=token)
+        assert result.status == "cancelled"
+        assert result.reason == "SIGINT"
+        assert result.checkpoint is not None
+        # Still queryable: cancellation landed at a safe boundary.
+        assert db.query("s") is not None
+
+    def test_sigint_handler_is_restored(self):
+        previous = signal.getsignal(signal.SIGINT)
+        with sigint_cancels(CancelToken()):
+            assert signal.getsignal(signal.SIGINT) is not previous
+        assert signal.getsignal(signal.SIGINT) is previous
+
+    def test_resume_after_cancel_matches_uninterrupted(self):
+        db = make_db(SHORTEST_PATH)
+        token = CancelToken()
+        token.cancel()
+        partial = db.solve(cancel=token)
+        assert partial.status == "cancelled"
+        resumed = make_db(SHORTEST_PATH).resume(partial.checkpoint)
+        assert resumed.status == "complete"
+        full = make_db(SHORTEST_PATH).solve()
+        assert snapshot(resumed.model) == snapshot(full.model)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_resume_matches_uninterrupted(self, method, tmp_path):
+        db = make_db(SHORTEST_PATH)
+        partial = db.solve(method=method, budget=Budget(max_iterations=1))
+        assert partial.status == "partial"
+        path = tmp_path / "solve.ckpt.json"
+        partial.checkpoint.save(str(path))
+
+        resumed = make_db(SHORTEST_PATH).resume(str(path), method=method)
+        assert resumed.status == "complete"
+        full = make_db(SHORTEST_PATH).solve(method=method)
+        assert snapshot(resumed.model) == snapshot(full.model)
+
+    def test_checkpoint_roundtrips_through_dict(self):
+        db = make_db(SHORTEST_PATH)
+        partial = db.solve(budget=Budget(max_iterations=1))
+        checkpoint = partial.checkpoint
+        clone = Checkpoint.from_dict(checkpoint.to_dict())
+        assert clone.to_dict() == checkpoint.to_dict()
+        assert clone.fingerprint == checkpoint.fingerprint
+        assert clone.total_atoms == checkpoint.total_atoms
+
+    def test_checkpoint_rejects_wrong_program(self):
+        db = make_db(SHORTEST_PATH)
+        partial = db.solve(budget=Budget(max_iterations=1))
+        other = Database()
+        other.load("p(X) <- q(X). q(a).")
+        with pytest.raises(CheckpointError):
+            other.resume(partial.checkpoint)
+
+    def test_same_rules_different_facts_share_fingerprint(self):
+        # Facts live in the EDB, not the program: a checkpoint from one
+        # extension resumes under another (the rules are what must match).
+        from repro.engine.checkpoint import program_fingerprint
+
+        assert program_fingerprint(
+            make_db(SHORTEST_PATH).program
+        ) == program_fingerprint(make_db(DIVERGING).program)
+
+    def test_checkpoint_rejects_unknown_format(self):
+        db = make_db(SHORTEST_PATH)
+        partial = db.solve(budget=Budget(max_iterations=1))
+        payload = partial.checkpoint.to_dict()
+        payload["format"] = 999
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_dict(payload)
+
+    def test_resume_on_diverging_program_continues_descent(self):
+        db = make_db(DIVERGING)
+        first = db.solve(budget=Budget(max_iterations=40))
+        assert first.status == "partial"
+        costs_before = dict(first.model.relation("s").costs)
+        resumed = make_db(DIVERGING).solve(
+            budget=Budget(max_iterations=40), resume=first.checkpoint
+        )
+        costs_after = dict(resumed.model.relation("s").costs)
+        # reals_ge: ⊑-later means numerically smaller — strictly better
+        # on the negative cycle, never worse anywhere.
+        assert any(
+            costs_after[k] < costs_before[k]
+            for k in costs_before
+            if k in costs_after
+        )
+
+
+class TestSupervisionTelemetry:
+    def _trace_types(self, path) -> set:
+        return {
+            json.loads(line)["type"]
+            for line in Path(path).read_text().splitlines()
+        }
+
+    def test_budget_events_validate_against_schema(self, tmp_path):
+        from repro.obs import JsonlSink, Tracer, validate_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(str(out)))
+        db = make_db(DIVERGING)
+        result = db.solve(budget=Budget(timeout=0.5), tracer=tracer)
+        tracer.close()
+        assert result.status == "timeout"
+        assert validate_jsonl(str(out)) == []
+        types = self._trace_types(out)
+        assert "budget_exceeded" in types
+        assert "divergence_warning" in types
+        assert "checkpoint" in types
+
+    def test_cancelled_event_validates(self, tmp_path):
+        from repro.obs import JsonlSink, Tracer, validate_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(str(out)))
+        token = CancelToken()
+        token.cancel("test")
+        db = make_db(SHORTEST_PATH)
+        db.solve(cancel=token, tracer=tracer)
+        tracer.close()
+        assert validate_jsonl(str(out)) == []
+        assert "cancelled" in self._trace_types(out)
+
+
+class TestSolveInterruptProtocol:
+    def test_attach_keeps_first_partial(self):
+        interrupt = SolveInterrupt("partial", "test")
+        interrupt.attach("first")
+        interrupt.attach("second")
+        assert interrupt.partial == "first"
+
+    def test_interrupt_never_escapes_solve(self):
+        # Even an instantly-expiring deadline surfaces as a result, not
+        # as an exception.
+        db = make_db(SHORTEST_PATH)
+        result = db.solve(budget=Budget(timeout=0.0))
+        assert result.status in ("timeout", "complete")
