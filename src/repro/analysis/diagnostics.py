@@ -35,6 +35,7 @@ MAD4xx classification notes (Sections 5–6) — never errors
 MAD5xx program hygiene (not from the paper)
 MAD6xx whole-program lattice type inference (Section 4.2 generalized)
 MAD7xx runtime divergence findings (engine supervisor) — never static
+MAD8xx premappability / aggregate pushdown (docs/OPTIMIZATION.md) — never errors
 ====== =====================================================
 
 Diagnostics for mechanical defects carry :class:`~repro.analysis.fixes.Fix`
@@ -360,6 +361,40 @@ _RULES = [
         "round over round; the model may be infinite or combinatorially "
         "explosive, so the solve is unlikely to finish within any "
         "reasonable budget.",
+    ),
+    # MAD8xx — premappability / aggregate pushdown (docs/OPTIMIZATION.md).
+    # Informational optimizer verdicts: whether each recursive extremal
+    # aggregate can be pushed into its recursion (Zaniolo et al.'s
+    # premappable distributions) without changing the minimal model.
+    LintRule(
+        "MAD801",
+        "aggregate-pushdown-applied",
+        Severity.INFO,
+        "premappability (Zaniolo et al.); Sections 5-6 here",
+        "Every premappability condition holds for this aggregate "
+        "occurrence, so the solver prunes the recursion's frontier "
+        "through the aggregate; the minimal model is provably unchanged "
+        "while non-extremal derivations are never enumerated.",
+    ),
+    LintRule(
+        "MAD802",
+        "aggregate-pushdown-blocked",
+        Severity.INFO,
+        "premappability (Zaniolo et al.); Sections 5-6 here",
+        "A premappability condition fails in a way that makes the "
+        "pushdown inapplicable (no local column to collapse, interfering "
+        "rules in the component, unsupported rule shape, ...); the "
+        "program still evaluates, just without the optimization.",
+    ),
+    LintRule(
+        "MAD803",
+        "aggregate-pushdown-unsound",
+        Severity.INFO,
+        "premappability (Zaniolo et al.); Sections 5-6 here",
+        "Pushing this aggregate into its recursion would change the "
+        "minimal model (the function is not an extremum over the "
+        "recursion's own cost lattice), so the optimizer must leave the "
+        "occurrence alone.",
     ),
 ]
 
@@ -867,6 +902,29 @@ def _check_lattice_typing(program: Program) -> Iterator[Diagnostic]:
                     conflict.message(),
                     span=conflict.span,
                 )
+
+
+@lint_check("premappability")
+def _check_premappability(program: Program) -> Iterator[Diagnostic]:
+    from repro.analysis.premap import analyze_premappability
+
+    _STATUS_SLUGS = {
+        "applied": "aggregate-pushdown-applied",
+        "blocked": "aggregate-pushdown-blocked",
+        "changes-semantics": "aggregate-pushdown-unsound",
+    }
+    try:
+        report = analyze_premappability(program)
+    except ProgramError:
+        # The program does not classify (already diagnosed above); the
+        # optimizer verdicts would only repeat the failure.
+        return
+    for verdict in report.verdicts:
+        yield make_diagnostic(
+            _STATUS_SLUGS[verdict.status],
+            str(verdict),
+            rule=verdict.rule,
+        )
 
 
 def _atoms_of_rule(rule: Rule) -> Iterator[Atom]:

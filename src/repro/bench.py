@@ -33,7 +33,10 @@ from repro.obs import Tracer
 #: the dedicated traced run (solve-scoped counters, not a process global).
 #: v3: per-workload ``status`` (supervisor outcome — ``bench --timeout``
 #: budgets each solve and aborted runs are recorded, not crashed).
-FORMAT_VERSION = 3
+#: v4: top-level ``pushdown`` mode; the ``frontier_explosion`` /
+#: ``frontier_explosion_nopush`` workload pair measuring the aggregate
+#: pushdown from both sides (docs/OPTIMIZATION.md).
+FORMAT_VERSION = 4
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
@@ -63,10 +66,15 @@ def _make_shortest_path(method: str) -> Callable[[int], Callable[..., Any]]:
             plan: str,
             tracer: Optional[Tracer] = None,
             budget: Optional[Budget] = None,
+            pushdown: str = "auto",
         ) -> Any:
             db = shortest_path.database({"arc": arcs})
             return db.solve(
-                method=method, plan=plan, tracer=tracer, budget=budget
+                method=method,
+                plan=plan,
+                pushdown=pushdown,
+                tracer=tracer,
+                budget=budget,
             )
 
         return run
@@ -84,10 +92,15 @@ def _company_control(size: int) -> Callable[..., Any]:
         plan: str,
         tracer: Optional[Tracer] = None,
         budget: Optional[Budget] = None,
+        pushdown: str = "auto",
     ) -> Any:
         db = company_control.database({"s": shares})
         return db.solve(
-            method="seminaive", plan=plan, tracer=tracer, budget=budget
+            method="seminaive",
+            plan=plan,
+            pushdown=pushdown,
+            tracer=tracer,
+            budget=budget,
         )
 
     return run
@@ -103,11 +116,14 @@ def _party(size: int) -> Callable[..., Any]:
         plan: str,
         tracer: Optional[Tracer] = None,
         budget: Optional[Budget] = None,
+        pushdown: str = "auto",
     ) -> Any:
         db = party_invitations.database(
             {"knows": knows, "requires": list(requires.items())}
         )
-        return db.solve(plan=plan, tracer=tracer, budget=budget)
+        return db.solve(
+            plan=plan, pushdown=pushdown, tracer=tracer, budget=budget
+        )
 
     return run
 
@@ -122,6 +138,7 @@ def _circuit(size: int) -> Callable[..., Any]:
         plan: str,
         tracer: Optional[Tracer] = None,
         budget: Optional[Budget] = None,
+        pushdown: str = "auto",
     ) -> Any:
         db = circuit.database(
             {
@@ -130,9 +147,49 @@ def _circuit(size: int) -> Callable[..., Any]:
                 "input": inst.inputs,
             }
         )
-        return db.solve(plan=plan, tracer=tracer, budget=budget)
+        return db.solve(
+            plan=plan, pushdown=pushdown, tracer=tracer, budget=budget
+        )
 
     return run
+
+
+def _make_frontier_explosion(
+    forced_pushdown: Optional[str] = None,
+) -> Callable[[int], Callable[..., Any]]:
+    """Shortest path on a revision-cascade graph (docs/OPTIMIZATION.md).
+
+    Decoy shortcuts make the solve a long cascade of revision waves,
+    and a dense sink blanket makes every wave re-aggregate wide path
+    groups unless the pushdown has collapsed them — the workload the
+    aggregate pushdown is built for (~6x at the full size).
+    ``forced_pushdown`` pins the mode regardless of the suite-level
+    flag, so the report carries both sides of the rewrite.
+    """
+    from repro.programs import shortest_path
+    from repro.workloads import revision_chain
+
+    def setup(size: int) -> Callable[..., Any]:
+        arcs = revision_chain(size)
+
+        def run(
+            plan: str,
+            tracer: Optional[Tracer] = None,
+            budget: Optional[Budget] = None,
+            pushdown: str = "auto",
+        ) -> Any:
+            db = shortest_path.database({"arc": arcs})
+            return db.solve(
+                method="seminaive",
+                plan=plan,
+                pushdown=forced_pushdown or pushdown,
+                tracer=tracer,
+                budget=budget,
+            )
+
+        return run
+
+    return setup
 
 
 WORKLOADS: List[Workload] = [
@@ -145,6 +202,18 @@ WORKLOADS: List[Workload] = [
     Workload("company_control", "seminaive", 160, 12, _company_control),
     Workload("party", "naive", 192, 24, _party),
     Workload("circuit", "naive", 48, 16, _circuit),
+    # The pushdown showcase, measured from both sides: same generator,
+    # same seed, pushdown on (suite default) vs pinned off.
+    Workload(
+        "frontier_explosion", "seminaive", 260, 36, _make_frontier_explosion()
+    ),
+    Workload(
+        "frontier_explosion_nopush",
+        "seminaive",
+        260,
+        36,
+        _make_frontier_explosion("off"),
+    ),
 ]
 
 
@@ -153,6 +222,7 @@ def run_workload(
     *,
     quick: bool = False,
     plan: str = "smart",
+    pushdown: str = "auto",
     repeat: int = 3,
     telemetry: bool = True,
     timeout: Optional[float] = None,
@@ -174,7 +244,7 @@ def run_workload(
     for _ in range(max(1, repeat)):
         solve = workload.setup(size)
         t0 = time.perf_counter()
-        result = solve(plan, None, budget)
+        result = solve(plan, None, budget, pushdown)
         wall = time.perf_counter() - t0
         record = {
             "size": size,
@@ -193,7 +263,7 @@ def run_workload(
     assert best is not None
     if telemetry and best["status"] == "complete":
         tracer = Tracer()
-        traced = workload.setup(size)(plan, tracer, budget)
+        traced = workload.setup(size)(plan, tracer, budget, pushdown)
         best["index_stats"] = tracer.index_stats.snapshot()
         if traced.telemetry is not None:
             best["telemetry"] = traced.telemetry.to_report_dict()
@@ -206,6 +276,7 @@ def run_suite(
     *,
     quick: bool = False,
     plan: str = "smart",
+    pushdown: str = "auto",
     repeat: int = 3,
     only: Optional[List[str]] = None,
     progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
@@ -225,6 +296,7 @@ def run_suite(
         "version": FORMAT_VERSION,
         "quick": quick,
         "plan": plan,
+        "pushdown": pushdown,
         "timeout": timeout,
         "workloads": {},
     }
@@ -232,7 +304,12 @@ def run_suite(
         if only and workload.name not in only:
             continue
         record = run_workload(
-            workload, quick=quick, plan=plan, repeat=repeat, timeout=timeout
+            workload,
+            quick=quick,
+            plan=plan,
+            pushdown=pushdown,
+            repeat=repeat,
+            timeout=timeout,
         )
         report["workloads"][workload.name] = record
         if progress is not None:

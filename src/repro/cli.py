@@ -8,6 +8,7 @@ Usage::
     python -m repro explain program.mad "s(a, c)"
     python -m repro validate-trace out.jsonl
     python -m repro analyze program.mad
+    python -m repro optimize program.mad
     python -m repro lint program.mad [--format json] [--explain]
     python -m repro lint program.mad --fix [--diff | --check]
     python -m repro lint --catalog    # gate the built-ins on their verdicts
@@ -33,6 +34,12 @@ streams the versioned event schema as JSONL, ``solve --stats`` prints
 per-SCC / per-rule tables to stderr, ``profile`` ranks rules and
 predicates by cumulative executor time with convergence sparklines, and
 ``validate-trace`` checks trace files against the schema.
+
+Optimizer surfaces (docs/OPTIMIZATION.md): ``optimize`` prints the
+aggregate-pushdown verdicts (MAD8xx) to stderr and the rewritten
+program to stdout; ``solve``/``profile``/``explain``/``bench`` take
+``--pushdown off`` to disable the same plan-layer rewrite (the model is
+identical either way).
 
 Robustness surfaces (docs/ROBUSTNESS.md): ``solve --timeout`` /
 ``--max-iterations`` / ``--max-atoms`` budget the fixpoint and degrade
@@ -175,6 +182,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 method=args.method,
                 max_iterations=hard_cap,
                 plan=args.plan,
+                pushdown=args.pushdown,
                 tracer=tracer,
                 budget=budget,
                 cancel=cancel,
@@ -240,6 +248,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             method=args.method,
             max_iterations=args.max_iterations,
             plan=args.plan,
+            pushdown=args.pushdown,
             tracer=tracer,
         )
     finally:
@@ -264,6 +273,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
         method=args.method,
         max_iterations=args.max_iterations,
         plan=args.plan,
+        pushdown=args.pushdown,
     )
     atom = parse_atom_text(atom_text)
     key = tuple(arg.value for arg in atom.args)  # type: ignore[union-attr]
@@ -293,6 +303,35 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     report = db.analyze()
     print(report)
     return EXIT_OK if report.ok else EXIT_DIAGNOSTICS
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Print the aggregate-pushdown rewrite of a program.
+
+    Per-occurrence MAD8xx verdicts go to stderr; the rewritten program
+    (identical to the input when nothing applies) goes to stdout as
+    re-parseable rule text.  This is exactly the rewrite ``solve``
+    applies internally unless ``--pushdown off`` is given.
+    """
+    from repro.analysis.premap import (
+        analyze_premappability,
+        apply_pushdown,
+        render_program,
+    )
+
+    db = _load_database(args)
+    program = db.program
+    report = analyze_premappability(program)
+    if report.verdicts:
+        for verdict in report.verdicts:
+            print(f"% {verdict}", file=sys.stderr)
+    else:
+        print("% no recursive aggregate occurrences", file=sys.stderr)
+    result = apply_pushdown(program, report)
+    if not result.changed:
+        print("% no applicable pushdown; program unchanged", file=sys.stderr)
+    print(render_program(result.program))
+    return EXIT_OK
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -464,6 +503,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         report = run_suite(
             quick=args.quick,
             plan=args.plan,
+            pushdown=args.pushdown,
             repeat=args.repeat,
             only=args.workload or None,
             progress=progress,
@@ -571,6 +611,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="join-ordering mode of the compiled executor; 'off' keeps "
         "the legacy schedule order",
     )
+    solve.add_argument(
+        "--pushdown",
+        choices=["auto", "off"],
+        default="auto",
+        help="aggregate-pushdown optimization (docs/OPTIMIZATION.md); "
+        "'off' evaluates the program as written — the model is "
+        "identical either way",
+    )
     solve.add_argument("--query", help="print only this predicate")
     solve.add_argument(
         "--explain",
@@ -611,6 +659,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--max-iterations", type=int, default=100_000)
     profile.add_argument(
         "--plan", choices=["smart", "off"], default="smart"
+    )
+    profile.add_argument(
+        "--pushdown", choices=["auto", "off"], default="auto"
     )
     profile.add_argument(
         "--top",
@@ -657,6 +708,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan", choices=["smart", "off"], default="smart"
     )
     explain.add_argument(
+        "--pushdown", choices=["auto", "off"], default="auto"
+    )
+    explain.add_argument(
         "--max-depth",
         type=int,
         default=12,
@@ -678,6 +732,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(analyze)
     analyze.set_defaults(handler=cmd_analyze)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="print the aggregate-pushdown rewrite: MAD8xx verdicts on "
+        "stderr, the rewritten program on stdout "
+        "(see docs/OPTIMIZATION.md)",
+    )
+    add_common(optimize)
+    optimize.set_defaults(handler=cmd_optimize)
 
     lint = sub.add_parser(
         "lint",
@@ -738,6 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--plan", choices=["smart", "off"], default="smart"
+    )
+    bench.add_argument(
+        "--pushdown", choices=["auto", "off"], default="auto"
     )
     bench.add_argument(
         "--repeat",

@@ -239,6 +239,7 @@ class Database:
         method: Method = "naive",
         max_iterations: int = 100_000,
         plan: str = "smart",
+        pushdown: str = "auto",
         tracer: Optional["Tracer"] = None,
         budget: Optional["Budget"] = None,
         cancel: Optional["CancelToken"] = None,
@@ -252,7 +253,9 @@ class Database:
         supervision — graceful partial results with resumable
         checkpoints instead of unbounded spins — and ``resume`` restarts
         from such a checkpoint (see docs/ROBUSTNESS.md and
-        :meth:`resume`).
+        :meth:`resume`).  ``pushdown="off"`` disables the aggregate
+        pushdown optimization (see docs/OPTIMIZATION.md); the model is
+        identical either way.
         """
         result = solve(
             self.program,
@@ -261,6 +264,7 @@ class Database:
             method=method,
             max_iterations=max_iterations,
             plan=plan,
+            pushdown=pushdown,
             tracer=tracer,
             budget=budget,
             cancel=cancel,

@@ -76,6 +76,20 @@ def _check_mode(mode: str) -> str:
     return mode
 
 
+#: Pushdown modes: "auto" = apply the aggregate-pushdown rewrite wherever
+#: the premappability analysis proves it sound; "off" = evaluate the
+#: program exactly as written (escape hatch, mirrors ``plan="off"``).
+PUSHDOWN_MODES = ("auto", "off")
+
+
+def _check_pushdown_mode(mode: str) -> str:
+    if mode not in PUSHDOWN_MODES:
+        raise ValueError(
+            f"unknown pushdown mode {mode!r}; expected one of {PUSHDOWN_MODES}"
+        )
+    return mode
+
+
 class _SlotView:
     """A read-only Variable→value mapping over a register array, for
     :func:`~repro.datalog.terms.evaluate_expr`."""
@@ -882,6 +896,37 @@ def get_plan(
 def clear_plan_cache(program: Program) -> None:
     """Drop every cached plan (tests / planners that change statistics)."""
     program.__dict__.pop("_exec_plan_cache", None)
+    program.__dict__.pop("_pushdown_cache", None)
+
+
+def get_pushdown(program: Program, classification: Any = None) -> Any:
+    """The cached aggregate-pushdown rewrite of ``program``.
+
+    Like rule plans, the rewrite is computed once per program object and
+    cached on it — the premappability analysis
+    (:mod:`repro.analysis.premap`) runs whole-program static passes, so
+    repeated solves of the same database must not pay for it again.
+    ``classification`` optionally reuses an already-computed
+    :class:`~repro.analysis.classify.ProgramClassification` on the first
+    (cache-filling) call.  Returns a
+    :class:`~repro.analysis.premap.PushdownResult`; callers check
+    ``.changed`` and evaluate ``.program``.
+    """
+    cached = program.__dict__.get("_pushdown_cache")
+    if cached is None:
+        # Lazy import: analysis.premap imports the classify/fd passes,
+        # which reach back into the engine (greedy_applicable).
+        from repro.analysis.premap import (
+            analyze_premappability,
+            apply_pushdown,
+        )
+
+        report = analyze_premappability(
+            program, classification=classification
+        )
+        cached = apply_pushdown(program, report)
+        program.__dict__["_pushdown_cache"] = cached
+    return cached
 
 
 def run_rule(

@@ -210,6 +210,7 @@ def seminaive_fixpoint(
     i: Interpretation,
     *,
     max_iterations: int = 100_000,
+    strict: bool = True,
     plan: str = "smart",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
@@ -217,6 +218,12 @@ def seminaive_fixpoint(
     initial: Optional[Interpretation] = None,
 ) -> FixpointResult:
     """Delta-driven fixpoint of one monotonic component.
+
+    ``strict`` governs the *first* round's cost-consistency check (later
+    rounds always join — see ``_apply_derivation``).  The solver passes
+    ``strict=False`` for components holding an aggregate-pushdown
+    frontier predicate, whose rules *intentionally* derive conflicting
+    per-key costs for the lattice join to collapse.
 
     With an enabled ``tracer`` one ``iteration`` event is emitted per
     round (tagged with component index ``scc``), carrying the delta fed
@@ -252,7 +259,7 @@ def seminaive_fixpoint(
             cdb,
             start,
             i,
-            strict=not resumed,
+            strict=strict and not resumed,
             plan=plan,
             tracer=tracer,
             supervisor=supervisor,

@@ -32,18 +32,20 @@ concurrent solves never share them.  See docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Tuple
+from typing import Dict, FrozenSet, List, Literal, Optional, Tuple
 
-from repro.analysis.classify import classify_program
+from repro.analysis.classify import ProgramClassification, classify_program
 from repro.analysis.dependencies import Component, condense
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.report import AnalysisReport, analyze_program
 from repro.datalog.errors import NotAdmissibleError, SafetyError
 from repro.datalog.program import Program
 from repro.engine.checkpoint import Checkpoint
+from repro.engine.exec import _check_pushdown_mode, get_pushdown
 from repro.engine.interpretation import (
     IndexStats,
     Interpretation,
+    Relation,
     use_index_stats,
 )
 from repro.engine.greedy import greedy_applicable, greedy_fixpoint
@@ -140,6 +142,7 @@ def solve(
     method: Method = "naive",
     max_iterations: int = 100_000,
     plan: str = "smart",
+    pushdown: str = "auto",
     tracer: Optional[Tracer] = None,
     budget: Optional[Budget] = None,
     cancel: Optional[CancelToken] = None,
@@ -155,6 +158,15 @@ def solve(
     ``plan`` selects the join-ordering mode of the compiled execution
     layer (:mod:`repro.engine.exec`): ``"smart"`` (selectivity-aware,
     default) or ``"off"`` (legacy schedule order).
+
+    ``pushdown`` controls the aggregate-pushdown optimization
+    (:mod:`repro.analysis.premap`): with ``"auto"`` (default),
+    premappable extrema are pushed into their recursion — the fixpoint
+    carries a collapsed per-group frontier instead of the full interior
+    relation — and the auxiliary predicates are stripped from the final
+    model, which is provably identical to the unoptimized one.
+    ``"off"`` evaluates the program exactly as written.  The static
+    checks (``check``) always run against the *original* program.
 
     ``tracer`` opts the solve into the telemetry layer
     (:mod:`repro.obs`); the resulting digest lands on
@@ -180,6 +192,7 @@ def solve(
             method=method,
             max_iterations=max_iterations,
             plan=plan,
+            pushdown=pushdown,
             tracer=t,
             budget=budget,
             cancel=cancel,
@@ -215,6 +228,7 @@ def _solve_traced(
     method: Method,
     max_iterations: int,
     plan: str,
+    pushdown: str = "auto",
     tracer: Tracer,
     budget: Optional[Budget] = None,
     cancel: Optional[CancelToken] = None,
@@ -259,20 +273,56 @@ def _solve_traced(
     classification = (
         analysis.classification if analysis is not None else None
     )
+
+    # -- aggregate pushdown (Zaniolo et al.): rewrite premappable
+    # extrema before method selection, so classification-driven choices
+    # see the program actually evaluated.  The rewrite's auxiliary
+    # frontier predicates rely on the lattice join to collapse
+    # conflicting per-key costs, so their components run with
+    # strict=False; they are stripped from the final model.
+    eval_program = program
+    aux_predicates: FrozenSet[str] = frozenset()
+    if _check_pushdown_mode(pushdown) == "auto":
+        with tracer.phase("pushdown"):
+            rewrite = get_pushdown(program, classification)
+        if rewrite.changed:
+            eval_program = rewrite.program
+            aux_predicates = rewrite.aux_predicates
+            if tracer.enabled:
+                for applied in rewrite.applied:
+                    tracer.emit(
+                        "rewrite_applied",
+                        head=applied.head,
+                        predicate=applied.predicate,
+                        auxiliary=applied.auxiliary,
+                        aggregate=applied.function,
+                    )
+
     auto_methods: Dict[frozenset, str] = {}
+    eval_classification: Optional[ProgramClassification] = classification
+    if eval_program is not program and (
+        method == "auto" or classification is not None
+    ):
+        # The rewrite changed the SCC structure; classify what runs so
+        # auto picks methods (and telemetry reports verdicts) for the
+        # rewritten components, not the original ones.
+        with tracer.phase("classify"):
+            eval_classification = classify_program(eval_program)
+    elif method == "auto" and eval_classification is None:
+        with tracer.phase("classify"):
+            eval_classification = classify_program(program)
     if method == "auto":
-        if classification is None:
-            with tracer.phase("classify"):
-                classification = classify_program(program)
+        assert eval_classification is not None
         auto_methods = {
-            c.component.cdb: c.method for c in classification.components
+            c.component.cdb: c.method
+            for c in eval_classification.components
         }
     #: cdb → (verdict, reasons) for telemetry, whatever the method.
     verdicts: Dict[frozenset, Tuple[str, Tuple[str, ...]]] = {}
-    if classification is not None:
+    if eval_classification is not None:
         verdicts = {
             c.component.cdb: (c.verdict.value, c.reasons)
-            for c in classification.components
+            for c in eval_classification.components
         }
 
     supervisor = (
@@ -286,20 +336,33 @@ def _solve_traced(
         # The checkpoint state already contains the EDB it was solved
         # over; joining (rather than replacing) keeps any facts the
         # caller added since — they participate via re-derivation.
+        # Checkpoints are captured against (and restored over) the
+        # *original* program: auxiliary frontier atoms are never
+        # checkpointed and re-derive from the restored lower bound.
         state = state.join(resume.restore(program))
+    for name in aux_predicates:
+        decl = eval_program.declarations[name]
+        state.declarations[name] = decl
+        state.relations[name] = Relation.empty(decl)
     result = SolveResult(model=state, analysis=analysis, program=program)
-    for index, component in enumerate(condense(program)):
+    for index, component in enumerate(condense(eval_program)):
         chosen = (
             auto_methods.get(component.cdb, "naive")
             if method == "auto"
             else method
         )
-        if chosen == "greedy" and not greedy_applicable(program, component):
+        if chosen == "greedy" and not greedy_applicable(
+            eval_program, component
+        ):
             # Greedy applies to extremal components only; other components
             # of the same program fall through to the naive evaluator.
             chosen = "naive"
+        # Pushdown frontier components intentionally derive conflicting
+        # per-key costs (the join IS the aggregate) — disable the
+        # strict functional-dependency check for them only.
+        strict_costs = aux_predicates.isdisjoint(component.cdb)
         initial = (
-            _component_initial(state, component, program)
+            _component_initial(state, component, eval_program)
             if resume is not None
             else None
         )
@@ -311,7 +374,9 @@ def _solve_traced(
                 base -= initial.total_size()
             supervisor.enter_component(
                 base_atoms=base,
-                watch_spiral=component_unbounded(program, component.cdb),
+                watch_spiral=component_unbounded(
+                    eval_program, component.cdb
+                ),
             )
         if tracer.enabled:
             verdict, reasons = verdicts.get(component.cdb, (None, ()))
@@ -328,10 +393,11 @@ def _solve_traced(
         try:
             if chosen == "seminaive":
                 fixpoint = seminaive_fixpoint(
-                    program,
+                    eval_program,
                     component.cdb,
                     state,
                     max_iterations=max_iterations,
+                    strict=strict_costs,
                     plan=plan,
                     tracer=tracer,
                     scc=index,
@@ -340,7 +406,7 @@ def _solve_traced(
                 )
             elif chosen == "greedy":
                 fixpoint = greedy_fixpoint(
-                    program,
+                    eval_program,
                     component,
                     state,
                     assume_invariant=True,
@@ -352,11 +418,11 @@ def _solve_traced(
                 )
             else:
                 fixpoint = kleene_fixpoint(
-                    program,
+                    eval_program,
                     component.cdb,
                     state,
                     max_iterations=max_iterations,
-                    strict=True,
+                    strict=strict_costs,
                     plan=plan,
                     tracer=tracer,
                     scc=index,
@@ -376,6 +442,21 @@ def _solve_traced(
             result.status = interrupt.status
             result.reason = interrupt.reason
             result.interrupted_component = index
+            # Auxiliary frontier atoms never leave the solver: the
+            # partial model and the checkpoint (captured against the
+            # original program) carry original predicates only; resume
+            # re-derives the frontier from the restored lower bound.
+            frontier = interrupt.frontier
+            if aux_predicates:
+                for name in aux_predicates:
+                    state.relations.pop(name, None)
+                    state.declarations.pop(name, None)
+                if frontier:
+                    frontier = {
+                        name: rows
+                        for name, rows in frontier.items()
+                        if name not in aux_predicates
+                    }
             result.model = state
             result.checkpoint = Checkpoint.capture(
                 program,
@@ -384,7 +465,7 @@ def _solve_traced(
                 reason=interrupt.reason,
                 component=index,
                 iterations=result.total_iterations,
-                frontier=interrupt.frontier,
+                frontier=frontier,
             )
             if tracer.enabled:
                 tracer.emit(
@@ -407,10 +488,14 @@ def _solve_traced(
         result.components.append(component)
         result.component_methods.append(chosen)
         result.component_results.append(fixpoint)
-    result.model = state
+    if result.complete:
+        for name in aux_predicates:
+            state.relations.pop(name, None)
+            state.declarations.pop(name, None)
+        result.model = state
     result.runtime_diagnostics = list(supervisor.diagnostics)
     if tracer.enabled:
-        _flush_telemetry(tracer, program, result, t_solve)
+        _flush_telemetry(tracer, eval_program, result, t_solve)
         if tracer.collect:
             result.telemetry = summarize(tracer.events)
     return result

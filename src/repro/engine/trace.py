@@ -9,7 +9,16 @@ new code should import from the new location.
 
 from __future__ import annotations
 
-from repro.engine.provenance import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.engine.trace is deprecated; import from "
+    "repro.engine.provenance instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.engine.provenance import (  # noqa: E402,F401
     GroundAtom,
     Justification,
     explain,

@@ -20,7 +20,8 @@ changes meaning.
 Version history: v1 — initial schema; v2 — supervision events
 (``budget_exceeded``, ``cancelled``, ``checkpoint``,
 ``divergence_warning``) for budgeted/cancellable solves (see
-docs/ROBUSTNESS.md).
+docs/ROBUSTNESS.md); v3 — the ``rewrite_applied`` event recording a
+plan-layer aggregate pushdown (see docs/OPTIMIZATION.md).
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Version stamped into every event's ``v`` field.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _NUM = (int, float)
 _OPT_STR = (str, type(None))
@@ -49,6 +50,15 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[Tuple[type, ...], bool]]] = {
     "phase_end": {
         "phase": ((str,), True),
         "wall_s": (_NUM, True),
+    },
+    # One per applied aggregate pushdown (v3): the solver rewrote the
+    # program before evaluation — ``head``'s ``aggregate`` over
+    # ``predicate`` now reads the collapsed ``auxiliary`` frontier.
+    "rewrite_applied": {
+        "head": ((str,), True),
+        "predicate": ((str,), True),
+        "auxiliary": ((str,), True),
+        "aggregate": ((str,), True),
     },
     # One per strongly connected component, in bottom-up solve order.
     "scc_start": {

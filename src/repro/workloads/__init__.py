@@ -5,8 +5,10 @@ from repro.workloads.graphs import (
     bellman_ford_all_pairs,
     cycle_graph,
     dijkstra_all_pairs,
+    layered_digraph,
     random_dag,
     random_digraph,
+    revision_chain,
 )
 from repro.workloads.ownership import company_control_oracle, random_ownership
 from repro.workloads.social import party_oracle, random_party
@@ -14,6 +16,8 @@ from repro.workloads.social import party_oracle, random_party
 __all__ = [
     "random_digraph",
     "random_dag",
+    "layered_digraph",
+    "revision_chain",
     "cycle_graph",
     "dijkstra_all_pairs",
     "bellman_ford_all_pairs",

@@ -78,6 +78,64 @@ def random_dag(
     return arcs
 
 
+def layered_digraph(
+    width: int,
+    *,
+    layers: int = 6,
+    seed: int = 0,
+    max_weight: float = 10.0,
+    integer_weights: bool = True,
+) -> List[Arc]:
+    """A dense layered digraph: ``layers`` layers of ``width`` nodes each,
+    with the complete bipartite arc set between consecutive layers.
+
+    Node ids are ``layer * width + offset``.  Every source-to-sink pair
+    has ``width ** (gap - 1)`` distinct paths, so the ``path(X, Z, Y, C)``
+    frontier of the shortest-path idiom explodes combinatorially while
+    the collapsed per-pair frontier stays quadratic — the worst case the
+    aggregate pushdown (docs/OPTIMIZATION.md) is built for.
+    """
+    rng = random.Random(seed)
+    arcs: List[Arc] = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                w = rng.uniform(0, max_weight)
+                if integer_weights:
+                    w = float(int(w)) + 1.0
+                arcs.append((layer * width + i, (layer + 1) * width + j, w))
+    return arcs
+
+
+def revision_chain(m: int, *, width: int = 18) -> List[Arc]:
+    """A revision-cascade graph: the adversarial workload for the
+    aggregate pushdown (docs/OPTIMIZATION.md).
+
+    Three deterministic arc groups on nodes ``0..m+width``:
+
+    * a unit-weight chain ``a_0 -> a_1 -> ... -> a_m`` (nodes ``0..m``);
+    * "decoy" shortcuts ``a_0 -> a_i`` of weight ``10*i - 9``, so the
+      first distance derived for ``(a_0, a_i)`` is the shortcut and the
+      chain path (cost ``i``) *undercuts it at round i* — the solve is a
+      long cascade of ~m revision waves, each touching few pairs;
+    * a unit-weight blanket ``a_i -> b_k`` from every chain node to
+      ``width`` sink nodes (``m+1 .. m+width``).
+
+    Every revision wave re-derives paths into the blanket.  Without the
+    pushdown each wave forces the grouped ``min`` aggregate to re-scan
+    entire ``(source, sink)`` path groups (width ~m/2 conjuncts each);
+    with the pushdown the wave is absorbed into the collapsed
+    ``path__frontier`` relation in O(1) per pair.  The gap grows with
+    ``m``, reaching ~6x at ``m = 260``.
+    """
+    arcs: List[Arc] = [(i, i + 1, 1.0) for i in range(m)]
+    arcs += [(0, i, float(10 * i - 9)) for i in range(2, m + 1)]
+    arcs += [
+        (i, m + 1 + k, 1.0) for i in range(m + 1) for k in range(width)
+    ]
+    return arcs
+
+
 def cycle_graph(n: int, *, weight: float = 1.0) -> List[Arc]:
     """A single directed n-cycle — the minimal stress test for semantics
     that go three-valued on cyclic data."""

@@ -150,7 +150,7 @@ class TestAutoSolve:
         assert methods[("reach",)] == "seminaive"
         assert methods[("path", "s")] == "greedy"
 
-        result = solve(program, method="auto")
+        result = solve(program, method="auto", pushdown="off")
         assert set(result.component_methods) == {"seminaive", "greedy"}
         used = dict(
             zip(
@@ -160,6 +160,25 @@ class TestAutoSolve:
         )
         assert used[("reach",)] == "seminaive"
         assert used[("path", "s")] == "greedy"
+
+    def test_mixed_modes_with_pushdown_rewrites_components(self):
+        # With the aggregate pushdown on (the default), the min is pushed
+        # into the recursion: the recursive component becomes
+        # {path__frontier, s} and path exits the recursion entirely.
+        program = parse_program(MIXED_MODES)
+        result = solve(program, method="auto")
+        used = dict(
+            zip(
+                [tuple(sorted(c.cdb)) for c in result.components],
+                result.component_methods,
+            )
+        )
+        assert ("path__frontier", "s") in used
+        assert ("path",) in used
+        off = solve(program, method="auto", pushdown="off")
+        assert result.model["s"] == off.model["s"]
+        assert result.model["path"] == off.model["path"]
+        assert result.model["reach"] == off.model["reach"]
 
     def test_auto_matches_naive_model(self):
         program = parse_program(MIXED_MODES)

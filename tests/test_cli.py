@@ -100,8 +100,10 @@ class TestTelemetrySurfaces:
             main(["solve", rules, "--facts", facts, "--method", "auto"]) == 0
         )
         err = capsys.readouterr().err
-        # Which predicates each per-component method applied to.
-        assert "% scc {path, s}:" in err
+        # Which predicates each per-component method applied to.  The
+        # aggregate pushdown (on by default) rewrites the recursive
+        # component to read the collapsed frontier (docs/OPTIMIZATION.md).
+        assert "% scc {path__frontier, s}:" in err
 
     def test_profile_ranks_rules(self, sp_files, capsys):
         rules, facts = sp_files

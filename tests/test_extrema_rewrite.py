@@ -1,0 +1,132 @@
+"""Direct unit tests of the Ganguly–Greco–Zaniolo extrema rewrite.
+
+The semantics-level agreement of the rewritten program's well-founded
+model with the aggregate semantics is pinned in
+``test_semantics_comparison.py``; this module checks the rewrite's
+*shape*: the negation pair, declaration demotion, cost-bound guards,
+and the rejected inputs.
+"""
+
+import pytest
+
+from repro.datalog.atoms import AtomSubgoal, BuiltinSubgoal
+from repro.datalog.errors import ProgramError
+from repro.datalog.parser import parse_program
+from repro.semantics import rewrite_extrema
+
+SP = """
+@cost arc/3  : reals_ge.
+@cost path/4 : reals_ge.
+@cost s/3    : reals_ge.
+path(X, direct, Y, C) <- arc(X, Y, C).
+path(X, Z, Y, C) <- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) <- C =r min{D : path(X, Z, Y, D)}.
+"""
+
+
+def rules_for(program, predicate):
+    return [r for r in program.rules if r.head.predicate == predicate]
+
+
+class TestShape:
+    def test_aggregate_rule_becomes_negation_pair(self):
+        rewritten = rewrite_extrema(parse_program(SP))
+        heads = [r.head.predicate for r in rewritten.rules]
+        assert heads.count("s__better") == 1
+        assert heads.count("s") == 1
+        # Non-aggregate rules pass through untouched.
+        assert heads.count("path") == 2
+
+    def test_better_rule_joins_two_copies(self):
+        rewritten = rewrite_extrema(parse_program(SP))
+        (better,) = rules_for(rewritten, "s__better")
+        atoms = [
+            s.atom for s in better.body if isinstance(s, AtomSubgoal)
+        ]
+        builtins = [s for s in better.body if isinstance(s, BuiltinSubgoal)]
+        # Candidate copy + competitor copy of the single conjunct.
+        assert [a.predicate for a in atoms] == ["path", "path"]
+        (dominates,) = builtins
+        assert dominates.op == "<"
+        # The copies share the grouping variables but rename the local
+        # column, so the competitor ranges over the whole group.
+        candidate, competitor = atoms
+        assert candidate.args[0] == competitor.args[0]  # X
+        assert candidate.args[2] == competitor.args[2]  # Y
+        assert candidate.args[1] != competitor.args[1]  # Z renamed
+
+    def test_selected_rule_negates_better(self):
+        rewritten = rewrite_extrema(parse_program(SP))
+        (selected,) = rules_for(rewritten, "s")
+        negated = [
+            s.atom
+            for s in selected.body
+            if isinstance(s, AtomSubgoal) and s.negated
+        ]
+        assert [a.predicate for a in negated] == ["s__better"]
+
+    def test_cost_declarations_demoted(self):
+        program = parse_program(SP)
+        rewritten = rewrite_extrema(program)
+        for name in ("arc", "path", "s"):
+            assert program.decl(name).is_cost_predicate
+            assert not rewritten.decl(name).is_cost_predicate
+        assert rewritten.decl("s__better").arity == 3
+
+    def test_rewrite_of_aggregate_free_program_is_identity(self):
+        rewritten = rewrite_extrema(parse_program(SP))
+        again = rewrite_extrema(rewritten)
+        assert [str(r) for r in again.rules] == [
+            str(r) for r in rewritten.rules
+        ]
+
+
+class TestCostBound:
+    def test_bound_guards_interior_rules(self):
+        rewritten = rewrite_extrema(parse_program(SP), cost_bound=42.0)
+        for rule in rules_for(rewritten, "path"):
+            guard = rule.body[-1]
+            assert isinstance(guard, BuiltinSubgoal)
+            assert guard.op == "<="
+            assert guard.rhs.value == 42.0
+
+    def test_max_flips_comparisons(self):
+        source = SP.replace("reals_ge", "reals_le").replace("min{", "max{")
+        rewritten = rewrite_extrema(parse_program(source), cost_bound=7.0)
+        (better,) = rules_for(rewritten, "s__better")
+        (dominates,) = [
+            s for s in better.body if isinstance(s, BuiltinSubgoal)
+        ]
+        assert dominates.op == ">"
+        guard = rules_for(rewritten, "path")[0].body[-1]
+        assert guard.op == ">="
+
+    def test_unbounded_rewrite_leaves_rules_unguarded(self):
+        rewritten = rewrite_extrema(parse_program(SP))
+        for rule in rules_for(rewritten, "path"):
+            assert not any(
+                isinstance(s, BuiltinSubgoal) and s.op in ("<=", ">=")
+                for s in rule.body
+            )
+
+
+class TestRejections:
+    def test_rejects_non_extremum(self):
+        source = """
+        @cost s/3  : nonneg_reals_le.
+        @cost cv/4 : nonneg_reals_le.
+        @cost m/3  : nonneg_reals_le.
+        cv(X, X, Y, N) <- s(X, Y, N).
+        m(X, Y, N) <- N =r sum{M : cv(X, Z, Y, M)}.
+        """
+        with pytest.raises(ProgramError, match="min/max"):
+            rewrite_extrema(parse_program(source))
+
+    def test_rejects_unrestricted_form(self):
+        with pytest.raises(ProgramError, match="=r"):
+            rewrite_extrema(parse_program(SP.replace("=r min", "= min")))
+
+    def test_rejects_default_declarations(self):
+        source = SP.replace("@cost s/3", "@default s/3")
+        with pytest.raises(ProgramError, match="default"):
+            rewrite_extrema(parse_program(source))

@@ -124,3 +124,33 @@ class TestSoundnessAndWork:
         assert answers == {(0, 1)}
         # The 5-6-7 island is never demanded.
         assert stats.magic_atoms < stats.full_atoms
+
+
+class TestSeedCorrectness:
+    """The magic seed must mirror the query's adornment exactly."""
+
+    def test_fb_pattern_seeds_second_column(self):
+        program = parse_program(REACH)
+        magic = magic_transform(program, ("reach", (None, "z")))
+        assert magic.query_adornment == "fb"
+        assert magic.seed_fact == ("magic__reach__fb", ("z",))
+
+    def test_fully_bound_seed_carries_all_constants(self):
+        program = parse_program(REACH)
+        magic = magic_transform(program, ("reach", ("a", "b")))
+        assert magic.query_adornment == "bb"
+        assert magic.seed_fact == ("magic__reach__bb", ("a", "b"))
+
+    def test_free_pattern_seed_is_nullary(self):
+        program = parse_program(REACH)
+        magic = magic_transform(program, ("reach", (None, None)))
+        assert magic.query_adornment == "ff"
+        assert magic.seed_fact == ("magic__reach__ff", ())
+
+    def test_seed_preserves_non_string_constants(self):
+        program = parse_program(REACH)
+        magic = magic_transform(program, ("reach", (0, None)))
+        assert magic.seed_fact == ("magic__reach__bf", (0,))
+        edb = edb_from(program, edge=[(0, 1), (1, 2)])
+        answers, _ = magic_solve(program, edb, ("reach", (0, None)))
+        assert answers == {(0, 1), (0, 2)}

@@ -98,3 +98,22 @@ class TestExplain:
         tree = explain(db.program, result.model, "t", ("g",))
         assert "t('g', 1)" in tree
         assert "t('w', 1)" in tree  # the witness wire
+
+
+class TestEngineTraceShim:
+    def test_import_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.engine.trace", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.engine.trace")
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ), "importing the legacy module must warn"
+        from repro.engine import provenance
+
+        assert shim.explain is provenance.explain
+        assert shim.justifications is provenance.justifications
