@@ -14,6 +14,25 @@ a cost domain ``D`` into a range ``R``, each equipped with a lattice
   the ``=r`` form never evaluates ``F`` on the empty multiset
   (Definition 2.4: a ground ``=r`` instance is *false* on the empty
   multiset).
+
+Evaluation is *two-phase*, the classic mergeable-aggregate interface
+(``state_create / process / merge / convert``): a mutable-free partial
+state is created empty, folds elements via :meth:`process`, combines with
+other partial states via :meth:`merge`, and produces the final value via
+:meth:`convert`.  ``F(I)`` itself is defined as
+``convert(fold(process, I, state_create()))`` — there is exactly one
+aggregation code path, so the two-phase contract is exercised by every
+solve, not only by sharded ones.
+
+Why the interface matters: when ``merge`` is associative and commutative
+with ``state_create()`` as identity, a partition of the multiset may be
+aggregated in any grouping and any order —
+``convert(merge(fold(A), fold(B))) = F(A ⊎ B)`` — which is exactly what
+licenses partitioned/sharded evaluation (docs/PARALLELISM.md) and, later,
+incremental maintenance.  The algebra is verified empirically per function
+by :mod:`repro.aggregates.algebra`, and the shard-safety analyzer
+(:mod:`repro.analysis.sharding`) consults that proof before certifying a
+component for ``plan="sharded"``.
 """
 
 from __future__ import annotations
@@ -44,8 +63,10 @@ class EmptyAggregateError(ValueError):
 class AggregateFunction(abc.ABC):
     """A multiset aggregate ``F : M(D) → R`` with declared lattices.
 
-    Subclasses implement :meth:`apply_nonempty`; the public entry point
-    :meth:`__call__` handles the empty multiset uniformly.
+    Subclasses implement the two-phase interface
+    (:meth:`state_create` / :meth:`process` / :meth:`merge` /
+    :meth:`convert`); the public entry point :meth:`__call__` folds a
+    whole multiset through it and handles the empty multiset uniformly.
     """
 
     #: Name used in rule text, e.g. ``C = min{D : p(X, D)}``.
@@ -61,11 +82,57 @@ class AggregateFunction(abc.ABC):
         self.domain = domain
         self.range_ = range_
 
-    # -- evaluation ----------------------------------------------------------
+    # -- the mergeable two-phase interface -----------------------------------
 
     @abc.abstractmethod
+    def state_create(self) -> Any:
+        """A fresh partial state representing the empty multiset.
+
+        Must be the identity of :meth:`merge`:
+        ``merge(s, state_create()) = s`` for every reachable state.
+        """
+
+    @abc.abstractmethod
+    def process(self, state: Any, value: Any, count: int = 1) -> Any:
+        """Fold ``count`` occurrences of ``value`` into ``state``.
+
+        States are treated as immutable values: ``process`` returns the
+        new state and must not mutate its argument (partial states cross
+        process boundaries in sharded evaluation).
+        """
+
+    @abc.abstractmethod
+    def merge(self, state: Any, other: Any) -> Any:
+        """Combine two partial states.
+
+        The shard-safety contract (verified by
+        :mod:`repro.aggregates.algebra`): associative, commutative, with
+        :meth:`state_create` as identity, and compatible with
+        :meth:`process` — ``merge(fold(A), fold(B)) ≡ fold(A ⊎ B)``.
+        """
+
+    @abc.abstractmethod
+    def convert(self, state: Any) -> Any:
+        """Finalize a partial state into the aggregate's value.
+
+        Raises :class:`EmptyAggregateError` on the empty state when the
+        function has no defined ``F(∅)`` (callers reach empty multisets
+        only through :meth:`__call__`, which routes them to
+        :meth:`empty_value`).
+        """
+
+    # -- evaluation ----------------------------------------------------------
+
+    def fold(self, multiset: FrozenMultiset) -> Any:
+        """The partial state of a whole multiset (phase one)."""
+        state = self.state_create()
+        for value, count in multiset.items():
+            state = self.process(state, value, count)
+        return state
+
     def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        """Evaluate ``F`` on a non-empty multiset."""
+        """Evaluate ``F`` on a non-empty multiset via the two-phase fold."""
+        return self.convert(self.fold(multiset))
 
     def empty_value(self) -> Any:
         """``F(∅)``.

@@ -22,14 +22,47 @@ fixed lower components.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
-from repro.aggregates.base import AggregateFunction, Monotonicity
+from repro.aggregates.base import (
+    AggregateFunction,
+    EmptyAggregateError,
+    Monotonicity,
+)
 from repro.lattices.base import Lattice
-from repro.util.multiset import FrozenMultiset
 
 
-class LatticeJoin(AggregateFunction):
+class _FoldAggregate(AggregateFunction):
+    """Two-phase state for any associative/commutative lattice combiner.
+
+    The state is ``None`` (no element yet) or the running combination;
+    ``merge`` is the ``None``-absorbing combiner, which inherits
+    associativity/commutativity from the lattice operation itself.
+    """
+
+    def _combine(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def state_create(self) -> Any:
+        return None
+
+    def process(self, state: Any, value: Any, count: int = 1) -> Any:
+        return value if state is None else self._combine(state, value)
+
+    def merge(self, state: Any, other: Any) -> Any:
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return self._combine(state, other)
+
+    def convert(self, state: Any) -> Any:
+        if state is None:
+            raise EmptyAggregateError(f"{self.name}: empty partial state")
+        return state
+
+
+class LatticeJoin(_FoldAggregate):
     """``F(I) = ⊔ I`` over an arbitrary complete lattice — monotonic.
 
     ``F(∅) = ⊥`` (the empty lub), which the base class's default
@@ -44,29 +77,32 @@ class LatticeJoin(AggregateFunction):
 
     classification = Monotonicity.MONOTONIC
 
-    def __init__(self, lattice: Lattice, name: str | None = None) -> None:
+    def __init__(self, lattice: Lattice, name: Optional[str] = None) -> None:
         super().__init__(lattice, lattice)
         self.name = name or f"lub_{lattice.name}"
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return self.domain.join_all(multiset.support())
+    def _combine(self, a: Any, b: Any) -> Any:
+        return self.domain.join(a, b)
 
 
-class LatticeMeet(AggregateFunction):
+class LatticeMeet(_FoldAggregate):
     """``F(I) = ⊓ I`` — the §6.1 glb aggregate.  ``F(∅) = ⊤``.
 
     Antitone in the multiset: adding elements can only lower the glb, so
     it is declared NONMONOTONIC and admissible only over LDB predicates.
+    (Its partial state is still perfectly mergeable — ⊓ is associative
+    and commutative — but shard safety additionally requires
+    monotonicity, so the analyzer blocks it anyway.)
     """
 
     classification = Monotonicity.NONMONOTONIC
 
-    def __init__(self, lattice: Lattice, name: str | None = None) -> None:
+    def __init__(self, lattice: Lattice, name: Optional[str] = None) -> None:
         super().__init__(lattice, lattice)
         self.name = name or f"glb_{lattice.name}"
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return self.domain.meet_all(multiset.support())
+    def _combine(self, a: Any, b: Any) -> Any:
+        return self.domain.meet(a, b)
 
     def empty_value(self) -> Any:
         return self.range_.top

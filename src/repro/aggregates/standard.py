@@ -9,14 +9,27 @@ program of Example 4.4 needs; dually for ``min``/``max``, §4.1.1).
 ``average`` (Example 2.1) and ``halfsum`` (Example 5.1) round out the set:
 ``average`` is pseudo-monotonic with no empty value, ``halfsum`` is fully
 monotonic and drives the beyond-ω iteration example.
+
+Every function implements the mergeable two-phase interface of
+:class:`~repro.aggregates.base.AggregateFunction`
+(``state_create / process / merge / convert``); the partial states are
+plain picklable values (numbers, tuples, frozensets, or ``None`` for "no
+element seen yet"), so they can cross process boundaries in sharded
+evaluation.  The merge algebra of each state — associativity,
+commutativity, identity — is verified empirically by
+:mod:`repro.aggregates.algebra` and the test suite.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
-from repro.aggregates.base import AggregateFunction, Monotonicity
+from repro.aggregates.base import (
+    AggregateFunction,
+    EmptyAggregateError,
+    Monotonicity,
+)
 from repro.lattices import (
     BOOL_GE,
     BOOL_LE,
@@ -32,7 +45,38 @@ from repro.lattices.sets import PowersetIntersection, PowersetUnion
 from repro.util.multiset import FrozenMultiset
 
 
-class Minimum(AggregateFunction):
+class _ExtremumMixin(AggregateFunction):
+    """Shared two-phase state for the four min/max variants.
+
+    The state is ``None`` (no element yet) or the numeric extremum so
+    far; ``merge`` is the ``None``-absorbing extremum of two states —
+    associative and commutative because ``min``/``max`` are, with
+    ``None`` as identity.
+    """
+
+    #: ``min`` or ``max``; fixed by the concrete subclass.
+    _pick: Callable[..., Any]
+
+    def state_create(self) -> Optional[Any]:
+        return None
+
+    def process(self, state: Optional[Any], value: Any, count: int = 1) -> Any:
+        return value if state is None else type(self)._pick(state, value)
+
+    def merge(self, state: Optional[Any], other: Optional[Any]) -> Optional[Any]:
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return type(self)._pick(state, other)
+
+    def convert(self, state: Optional[Any]) -> Any:
+        if state is None:
+            raise EmptyAggregateError(f"{self.name}: empty partial state")
+        return state
+
+
+class Minimum(_ExtremumMixin):
     """``min`` on ``(R ∪ {±∞}, ≥)`` — Figure 1 row 3.  ``min(∅) = +∞``.
 
     Under the ≥ order, growing the multiset can only *lower* the numeric
@@ -41,13 +85,11 @@ class Minimum(AggregateFunction):
 
     name = "min"
     classification = Monotonicity.MONOTONIC
+    _pick = min
 
     def __init__(self, domain: Lattice | None = None) -> None:
         lattice = domain or REALS_GE
         super().__init__(lattice, lattice)
-
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return min(multiset.support())
 
 
 class MinimumAscending(Minimum):
@@ -65,18 +107,16 @@ class MinimumAscending(Minimum):
         return self.range_.bottom
 
 
-class Maximum(AggregateFunction):
+class Maximum(_ExtremumMixin):
     """``max`` on ``(R ∪ {±∞}, ≤)`` — Figure 1 row 1.  ``max(∅) = -∞``."""
 
     name = "max"
     classification = Monotonicity.MONOTONIC
+    _pick = max
 
     def __init__(self, domain: Lattice | None = None) -> None:
         lattice = domain or REALS_LE
         super().__init__(lattice, lattice)
-
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return max(multiset.support())
 
 
 class MaximumNonNegative(Maximum):
@@ -98,11 +138,26 @@ class MaximumDescending(Maximum):
         AggregateFunction.__init__(self, REALS_GE, REALS_GE)
 
 
+#: Partial sum state: (running total, every element so far was an int).
+_SumState = Tuple[Any, bool]
+
+
 class Sum(AggregateFunction):
     """``sum`` on ``(R* ∪ {∞}, ≤)`` — Figure 1 row 4.  ``sum(∅) = 0``.
 
     Only non-negative values keep ``sum`` monotonic: adding an element can
     then only increase the total.
+
+    The partial state tracks ``(total, all_int)``: integer totals over
+    all-integer multisets finalize as ``int`` so interpretations print
+    cleanly, and the flag merges with ``and`` — associative/commutative
+    alongside ``+``.
+
+    ``fold`` iterates the multiset in sorted value order: float addition
+    is associative only up to rounding, and a canonical order makes the
+    result independent of how the group's rows were derived — sequential
+    evaluators and hash-partitioned shards (docs/PARALLELISM.md) then
+    agree bit for bit, not just within an ulp.
     """
 
     name = "sum"
@@ -112,17 +167,31 @@ class Sum(AggregateFunction):
         lattice = domain or NONNEG_REALS_LE
         super().__init__(lattice, lattice)
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        total = 0.0
-        for value, count in multiset.items():
-            if value == INF:
-                return INF
-            total += value * count
+    def fold(self, multiset: FrozenMultiset) -> _SumState:
+        state = self.state_create()
+        for value, count in sorted(multiset.items()):
+            state = self.process(state, value, count)
+        return state
+
+    def state_create(self) -> _SumState:
+        return (0.0, True)
+
+    def process(self, state: _SumState, value: Any, count: int = 1) -> _SumState:
+        total, all_int = state
+        if value == INF:
+            return (INF, False)
+        return (total + value * count, all_int and isinstance(value, int))
+
+    def merge(self, state: _SumState, other: _SumState) -> _SumState:
+        return (state[0] + other[0], state[1] and other[1])
+
+    def convert(self, state: _SumState) -> Any:
+        total, all_int = state
+        if math.isinf(total):
+            return INF
         # Keep integer totals integral so interpretations print cleanly.
-        if total == int(total) and not math.isinf(total):
-            as_int = int(total)
-            if all(isinstance(v, int) for v in multiset.support()):
-                return as_int
+        if all_int and total == int(total):
+            return int(total)
         return total
 
 
@@ -131,8 +200,8 @@ class HalfSum(Sum):
 
     name = "halfsum"
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        total = Sum.apply_nonempty(self, multiset)
+    def convert(self, state: _SumState) -> Any:
+        total = Sum.convert(self, state)
         return INF if total == INF else total / 2
 
 
@@ -140,7 +209,8 @@ class Count(AggregateFunction):
     """``count`` — Figure 1 row 8: ``M(B) → (N ∪ {∞}, ≤)``.
 
     Counts elements regardless of their value, so it is monotonic over any
-    domain lattice; the Figure 1 row fixes ``D = (B, ≤)``.
+    domain lattice; the Figure 1 row fixes ``D = (B, ≤)``.  The partial
+    state is the running count; ``merge`` is ``+``.
     """
 
     name = "count"
@@ -149,14 +219,24 @@ class Count(AggregateFunction):
     def __init__(self, domain: Lattice | None = None) -> None:
         super().__init__(domain or BOOL_LE, NATURALS_LE)
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return len(multiset)
+    def state_create(self) -> int:
+        return 0
+
+    def process(self, state: int, value: Any, count: int = 1) -> int:
+        return state + count
+
+    def merge(self, state: int, other: int) -> int:
+        return state + other
+
+    def convert(self, state: int) -> int:
+        return state
 
 
 class Product(AggregateFunction):
     """``product`` on ``(N⁺ ∪ {∞}, ≤)`` — Figure 1 row 7.  ``product(∅) = 1``.
 
-    Positivity (≥ 1) is what keeps multiplication monotone.
+    Positivity (≥ 1) is what keeps multiplication monotone — and the
+    running-product state mergeable (``merge`` is ``*``, identity 1).
     """
 
     name = "product"
@@ -165,26 +245,60 @@ class Product(AggregateFunction):
     def __init__(self) -> None:
         super().__init__(POS_INTS_LE, POS_INTS_LE)
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        total: Any = 1
-        for value, count in multiset.items():
-            if value == INF:
-                return INF
-            total *= value**count
-        return total
+    def state_create(self) -> Any:
+        return 1
+
+    def process(self, state: Any, value: Any, count: int = 1) -> Any:
+        if value == INF or state == INF:
+            return INF
+        return state * value**count
+
+    def merge(self, state: Any, other: Any) -> Any:
+        if state == INF or other == INF:
+            return INF
+        return state * other
+
+    def convert(self, state: Any) -> Any:
+        return state
 
 
-class LogicalAnd(AggregateFunction):
+class _BooleanMixin(AggregateFunction):
+    """Shared ``None``-or-bit state for the four AND/OR variants."""
+
+    #: The binary boolean combiner (``min`` = and, ``max`` = or on bits).
+    _combine: Callable[..., int]
+
+    def state_create(self) -> Optional[int]:
+        return None
+
+    def process(
+        self, state: Optional[int], value: Any, count: int = 1
+    ) -> Optional[int]:
+        bit = 1 if int(value) == 1 else 0
+        return bit if state is None else type(self)._combine(state, bit)
+
+    def merge(self, state: Optional[int], other: Optional[int]) -> Optional[int]:
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return type(self)._combine(state, other)
+
+    def convert(self, state: Optional[int]) -> int:
+        if state is None:
+            raise EmptyAggregateError(f"{self.name}: empty partial state")
+        return state
+
+
+class LogicalAnd(_BooleanMixin):
     """``AND`` on ``(B, ≥)`` — Figure 1 row 5: monotonic.  ``AND(∅) = 1``."""
 
     name = "and"
     classification = Monotonicity.MONOTONIC
+    _combine = min
 
     def __init__(self) -> None:
         super().__init__(BOOL_GE, BOOL_GE)
-
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return 1 if all(int(v) == 1 for v in multiset.support()) else 0
 
 
 class LogicalAndAscending(LogicalAnd):
@@ -207,17 +321,15 @@ class LogicalAndAscending(LogicalAnd):
         return 1
 
 
-class LogicalOr(AggregateFunction):
+class LogicalOr(_BooleanMixin):
     """``OR`` on ``(B, ≤)`` — Figure 1 row 6: monotonic.  ``OR(∅) = 0``."""
 
     name = "or"
     classification = Monotonicity.MONOTONIC
+    _combine = max
 
     def __init__(self) -> None:
         super().__init__(BOOL_LE, BOOL_LE)
-
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        return 1 if any(int(v) == 1 for v in multiset.support()) else 0
 
 
 class LogicalOrDescending(LogicalOr):
@@ -240,7 +352,11 @@ class LogicalOrDescending(LogicalOr):
 
 
 class Union(AggregateFunction):
-    """``union`` on ``(2^S, ⊆)`` — Figure 1 row 9.  ``union(∅) = ∅``."""
+    """``union`` on ``(2^S, ⊆)`` — Figure 1 row 9.  ``union(∅) = ∅``.
+
+    The partial state is the union so far; ``merge`` is ``|`` with the
+    empty set as identity — set union is the textbook mergeable state.
+    """
 
     name = "union"
     classification = Monotonicity.MONOTONIC
@@ -249,11 +365,17 @@ class Union(AggregateFunction):
         lattice = PowersetUnion(universe)
         super().__init__(lattice, lattice)
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        out: frozenset = frozenset()
-        for s in multiset.support():
-            out |= frozenset(s)
-        return out
+    def state_create(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def process(self, state: FrozenSet[Any], value: Any, count: int = 1) -> FrozenSet[Any]:
+        return state | frozenset(value)
+
+    def merge(self, state: FrozenSet[Any], other: FrozenSet[Any]) -> FrozenSet[Any]:
+        return state | other
+
+    def convert(self, state: FrozenSet[Any]) -> FrozenSet[Any]:
+        return state
 
 
 class Intersection(AggregateFunction):
@@ -261,6 +383,8 @@ class Intersection(AggregateFunction):
 
     ``intersection(∅) = S`` (the empty intersection is the whole universe —
     which is ⊥ of the ⊇-ordered lattice, so the bottom-default applies).
+    The partial state is ``None`` (nothing seen — the neutral "whole
+    universe" without materializing it) or the intersection so far.
     """
 
     name = "intersection"
@@ -270,12 +394,28 @@ class Intersection(AggregateFunction):
         lattice = PowersetIntersection(universe)
         super().__init__(lattice, lattice)
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        values = [frozenset(s) for s in multiset.support()]
-        out = values[0]
-        for s in values[1:]:
-            out &= s
-        return out
+    def state_create(self) -> Optional[frozenset]:
+        return None
+
+    def process(
+        self, state: Optional[FrozenSet[Any]], value: Any, count: int = 1
+    ) -> FrozenSet[Any]:
+        s = frozenset(value)
+        return s if state is None else state & s
+
+    def merge(
+        self, state: Optional[FrozenSet[Any]], other: Optional[frozenset]
+    ) -> Optional[frozenset]:
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return state & other
+
+    def convert(self, state: Optional[FrozenSet[Any]]) -> FrozenSet[Any]:
+        if state is None:
+            raise EmptyAggregateError(f"{self.name}: empty partial state")
+        return state
 
 
 class GraphProperty(AggregateFunction):
@@ -286,6 +426,10 @@ class GraphProperty(AggregateFunction):
     ``predicate`` receives the multigraph as a frozenset of edges joined
     across the multiset and must be monotone increasing (more edges never
     turn the property off) for the declared classification to hold.
+
+    The partial state is the edge set accumulated so far; only
+    :meth:`convert` applies ``P``, so partial states merge by plain set
+    union.
     """
 
     name = "graph_property"
@@ -293,7 +437,7 @@ class GraphProperty(AggregateFunction):
 
     def __init__(
         self,
-        predicate: Callable[[frozenset], bool],
+        predicate: Callable[[FrozenSet[Any]], bool],
         edge_universe: Iterable[Any],
         name: str | None = None,
     ) -> None:
@@ -302,19 +446,29 @@ class GraphProperty(AggregateFunction):
         if name:
             self.name = name
 
-    def _as_edges(self, value: Any) -> frozenset:
+    def _as_edges(self, value: Any) -> FrozenSet[Any]:
         if isinstance(value, (set, frozenset)):
             return frozenset(value)
         return frozenset([value])
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        graph: frozenset = frozenset()
-        for value in multiset.support():
-            graph |= self._as_edges(value)
-        return 1 if self.predicate(graph) else 0
+    def state_create(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def process(self, state: FrozenSet[Any], value: Any, count: int = 1) -> FrozenSet[Any]:
+        return state | self._as_edges(value)
+
+    def merge(self, state: FrozenSet[Any], other: FrozenSet[Any]) -> FrozenSet[Any]:
+        return state | other
+
+    def convert(self, state: FrozenSet[Any]) -> int:
+        return 1 if self.predicate(state) else 0
 
     def empty_value(self) -> Any:
         return 1 if self.predicate(frozenset()) else 0
+
+
+#: Partial average state: (running total, element count).
+_AvgState = Tuple[float, int]
 
 
 class Average(AggregateFunction):
@@ -322,6 +476,13 @@ class Average(AggregateFunction):
 
     The paper only ever uses ``average`` with the ``=r`` form (SQL does not
     aggregate empty groups), matching ``has_empty_value = False``.
+
+    ``average`` itself is famously non-mergeable, but its *state*
+    ``(sum, count)`` is — the textbook motivation for the two-phase
+    interface.
+
+    Like :class:`Sum`, ``fold`` iterates in sorted value order so the
+    float total is independent of derivation order.
     """
 
     name = "average"
@@ -331,12 +492,29 @@ class Average(AggregateFunction):
     def __init__(self) -> None:
         super().__init__(REALS_LE, REALS_LE)
 
-    def apply_nonempty(self, multiset: FrozenMultiset) -> Any:
-        total = sum(value * count for value, count in multiset.items())
-        return total / len(multiset)
+    def fold(self, multiset: FrozenMultiset) -> _AvgState:
+        state = self.state_create()
+        for value, count in sorted(multiset.items()):
+            state = self.process(state, value, count)
+        return state
+
+    def state_create(self) -> _AvgState:
+        return (0.0, 0)
+
+    def process(self, state: _AvgState, value: Any, count: int = 1) -> _AvgState:
+        return (state[0] + value * count, state[1] + count)
+
+    def merge(self, state: _AvgState, other: _AvgState) -> _AvgState:
+        return (state[0] + other[0], state[1] + other[1])
+
+    def convert(self, state: _AvgState) -> float:
+        total, n = state
+        if n == 0:
+            raise EmptyAggregateError(f"{self.name}: empty partial state")
+        return total / n
 
 
-def default_registry() -> dict:
+def default_registry() -> Dict[str, AggregateFunction]:
     """Name → fresh instance for every non-parametric aggregate.
 
     Used by the parser to resolve aggregate names in rule text; parametric
@@ -360,3 +538,28 @@ def default_registry() -> dict:
         Average(),
     ]
     return {f.name: f for f in functions}
+
+
+# ``FrozenMultiset`` is re-exported for callers that built multisets via
+# this module historically; keep the import live for them.
+__all__ = [
+    "FrozenMultiset",
+    "Minimum",
+    "MinimumAscending",
+    "Maximum",
+    "MaximumNonNegative",
+    "MaximumDescending",
+    "Sum",
+    "HalfSum",
+    "Count",
+    "Product",
+    "LogicalAnd",
+    "LogicalAndAscending",
+    "LogicalOr",
+    "LogicalOrDescending",
+    "Union",
+    "Intersection",
+    "GraphProperty",
+    "Average",
+    "default_registry",
+]

@@ -36,6 +36,7 @@ MAD5xx program hygiene (not from the paper)
 MAD6xx whole-program lattice type inference (Section 4.2 generalized)
 MAD7xx runtime divergence findings (engine supervisor) — never static
 MAD8xx premappability / aggregate pushdown (docs/OPTIMIZATION.md) — never errors
+MAD9xx shard-safety / parallel evaluation (docs/PARALLELISM.md) — never errors
 ====== =====================================================
 
 Diagnostics for mechanical defects carry :class:`~repro.analysis.fixes.Fix`
@@ -395,6 +396,49 @@ _RULES = [
         "minimal model (the function is not an extremum over the "
         "recursion's own cost lattice), so the optimizer must leave the "
         "occurrence alone.",
+    ),
+    # MAD9xx — shard-safety / parallel evaluation (docs/PARALLELISM.md).
+    # Informational analyzer verdicts: whether each SCC's fixpoint can be
+    # hash-partitioned by a key column and evaluated per shard without
+    # changing the minimal model (the order-insensitivity of Lemma 4.1
+    # made operational).
+    LintRule(
+        "MAD901",
+        "component-shardable",
+        Severity.INFO,
+        "Lemma 4.1 (unique minimal model), Section 6.3; "
+        "docs/PARALLELISM.md",
+        "Every shard-safety condition holds for this component: a key "
+        "column assignment makes all recursive rules and aggregate "
+        "groups key-local, and every recursive aggregate's two-phase "
+        "state merge is associative/commutative with identity — so "
+        "plan=\"sharded\" partitions its fixpoint across workers and the "
+        "barrier merge provably reproduces the monolithic model.",
+    ),
+    LintRule(
+        "MAD902",
+        "component-shardable-after-rewrite",
+        Severity.INFO,
+        "Definition 2.4 ('=' vs '=r' on the empty multiset); "
+        "docs/PARALLELISM.md",
+        "The component is key-local and merge-safe but a recursive "
+        "aggregate uses the '=' form, which every shard would evaluate "
+        "to F(∅) for groups owned by other shards — junk rows whose "
+        "existence can leak downstream.  Rewriting '=' to '=r' makes "
+        "the component shardable; the executor falls back to sequential "
+        "evaluation rather than apply the rewrite itself.",
+    ),
+    LintRule(
+        "MAD903",
+        "component-not-shardable",
+        Severity.INFO,
+        "Section 4.1.1 (pseudo-monotonicity), Definition 4.5; "
+        "docs/PARALLELISM.md",
+        "A shard-safety condition fails (no key column keeps recursion "
+        "key-local, a default-value predicate enumerates a global key "
+        "universe, the component is not certified monotonic, or a merge "
+        "algebra fails); plan=\"sharded\" evaluates this component "
+        "sequentially, which is sound — just not parallel.",
     ),
 ]
 
@@ -924,6 +968,40 @@ def _check_premappability(program: Program) -> Iterator[Diagnostic]:
             _STATUS_SLUGS[verdict.status],
             str(verdict),
             rule=verdict.rule,
+        )
+
+
+@lint_check("shard-safety")
+def _check_shard_safety(program: Program) -> Iterator[Diagnostic]:
+    from repro.analysis.sharding import (
+        SHARDABLE,
+        SHARDABLE_AFTER_REWRITE,
+        analyze_sharding,
+    )
+
+    _STATUS_SLUGS = {
+        SHARDABLE: "component-shardable",
+        SHARDABLE_AFTER_REWRITE: "component-shardable-after-rewrite",
+    }
+    try:
+        report = analyze_sharding(program)
+    except ProgramError:
+        # The program does not classify (already diagnosed above); the
+        # shard verdicts would only repeat the failure.
+        return
+    for verdict in report.components:
+        # Non-recursive components are sequential by construction; a
+        # BLOCKED note for each of them would be noise, not a finding.
+        if not verdict.component.internal_kinds:
+            continue
+        rule, _ = _find_component_subgoal(
+            verdict.component,
+            aggregate=verdict.component.recursive_through_aggregation,
+        )
+        yield make_diagnostic(
+            _STATUS_SLUGS.get(verdict.status, "component-not-shardable"),
+            str(verdict),
+            rule=rule,
         )
 
 

@@ -43,6 +43,7 @@ from repro.analysis.diagnostics import (
 from repro.analysis.fd import CostRespectReport, check_rule_cost_respecting
 from repro.analysis.rmonotonic import is_r_monotonic
 from repro.analysis.safety import SafetyReport, check_program_safety
+from repro.analysis.sharding import ShardingReport, analyze_sharding
 from repro.analysis.typing import TypingReport, infer_types
 from repro.datalog.program import Program
 
@@ -66,6 +67,8 @@ class AnalysisReport:
     typing: Optional[TypingReport] = None
     #: Per-SCC verdicts + recommended evaluation modes.
     classification: Optional[ProgramClassification] = None
+    #: Per-SCC shard-safety verdicts (docs/PARALLELISM.md).
+    sharding: Optional[ShardingReport] = None
 
     @property
     def range_restricted(self) -> bool:
@@ -163,6 +166,9 @@ def analyze_program(
     report.typing = infer_types(program)
     report.classification = classify_program(
         program, admissibility=report.components, typing=report.typing
+    )
+    report.sharding = analyze_sharding(
+        program, classification=report.classification
     )
     report.diagnostics = lint_program(program, linter=linter)
     return report

@@ -36,7 +36,11 @@ from repro.obs import Tracer
 #: v4: top-level ``pushdown`` mode; the ``frontier_explosion`` /
 #: ``frontier_explosion_nopush`` workload pair measuring the aggregate
 #: pushdown from both sides (docs/OPTIMIZATION.md).
-FORMAT_VERSION = 4
+#: v5: the ``straggler`` / ``straggler_sharded`` workload pair measuring
+#: ``plan="sharded"`` (docs/PARALLELISM.md); per-workload pinned-option
+#: metadata (``plan``/``shards``/``workers``) and the observed
+#: ``sharded_components`` count.
+FORMAT_VERSION = 5
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
@@ -53,6 +57,10 @@ class Workload:
     #: size -> solve callable taking ``(plan, tracer=None, budget=None)``
     #: (building the database is part of the setup, not the timed region).
     setup: Callable[[int], Callable[..., Any]]
+    #: Options the setup closure pins regardless of the suite-level
+    #: flags (e.g. ``{"plan": "sharded", "shards": 64}``), merged into
+    #: the report record so it stays self-describing.
+    meta: Optional[Dict[str, Any]] = None
 
 
 def _make_shortest_path(method: str) -> Callable[[int], Callable[..., Any]]:
@@ -192,6 +200,49 @@ def _make_frontier_explosion(
     return setup
 
 
+def _make_straggler(
+    forced_plan: Optional[str] = None,
+    *,
+    shards: int = 64,
+    workers: int = 2,
+) -> Callable[[int], Callable[..., Any]]:
+    """Shortest path on a convergence-skewed graph (docs/PARALLELISM.md).
+
+    One deep chain (the straggler) plus a wide blob of shallow stars:
+    sequential naive evaluation drags the whole already-stable blob
+    through every chain round, while sharded evaluation lets blob-only
+    shards converge immediately — the workload ``plan="sharded"`` pays
+    off on, even single-core.  ``forced_plan`` pins the plan regardless
+    of the suite-level flag, so the report carries both sides.
+    """
+    from repro.programs import shortest_path
+    from repro.workloads import straggler_graph
+
+    def setup(size: int) -> Callable[..., Any]:
+        arcs = straggler_graph(size, seed=size)
+
+        def run(
+            plan: str,
+            tracer: Optional[Tracer] = None,
+            budget: Optional[Budget] = None,
+            pushdown: str = "auto",
+        ) -> Any:
+            db = shortest_path.database({"arc": arcs})
+            return db.solve(
+                method="naive",
+                plan=forced_plan or plan,
+                shards=shards,
+                workers=workers,
+                pushdown=pushdown,
+                tracer=tracer,
+                budget=budget,
+            )
+
+        return run
+
+    return setup
+
+
 WORKLOADS: List[Workload] = [
     Workload(
         "shortest_path", "seminaive", 64, 16, _make_shortest_path("seminaive")
@@ -213,6 +264,18 @@ WORKLOADS: List[Workload] = [
         260,
         36,
         _make_frontier_explosion("off"),
+    ),
+    # The sharding showcase, measured from both sides: same generator,
+    # same seed, suite-default sequential plan vs pinned plan="sharded"
+    # (docs/PARALLELISM.md).
+    Workload("straggler", "naive", 420, 48, _make_straggler()),
+    Workload(
+        "straggler_sharded",
+        "naive",
+        420,
+        48,
+        _make_straggler("sharded"),
+        meta={"plan": "sharded", "shards": 64, "workers": 2},
     ),
 ]
 
@@ -254,6 +317,13 @@ def run_workload(
             "atoms": result.model.total_size(),
             "status": result.status,
         }
+        if workload.meta:
+            record.update(workload.meta)
+        sharded = sum(
+            1 for used in result.component_methods if used.endswith("+sharded")
+        )
+        if sharded:
+            record["sharded_components"] = sharded
         if best is None or record["wall_s"] < best["wall_s"]:
             best = record
         if result.status != "complete":

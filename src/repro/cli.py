@@ -9,6 +9,7 @@ Usage::
     python -m repro validate-trace out.jsonl
     python -m repro analyze program.mad
     python -m repro optimize program.mad
+    python -m repro shard-plan program.mad [--format json]
     python -m repro lint program.mad [--format json] [--explain]
     python -m repro lint program.mad --fix [--diff | --check]
     python -m repro lint --catalog    # gate the built-ins on their verdicts
@@ -40,6 +41,14 @@ aggregate-pushdown verdicts (MAD8xx) to stderr and the rewritten
 program to stdout; ``solve``/``profile``/``explain``/``bench`` take
 ``--pushdown off`` to disable the same plan-layer rewrite (the model is
 identical either way).
+
+Parallelism surfaces (docs/PARALLELISM.md): ``shard-plan`` prints the
+per-component shard-safety verdicts (MAD9xx) with their full witness
+chains; ``solve --plan sharded`` evaluates analyzer-certified components
+hash-partitioned across worker processes (``--shards`` / ``--workers``),
+falling back per component — with the reason on the telemetry stream —
+whenever the proof does not go through.  The model is bit-identical to
+the sequential plans.
 
 Robustness surfaces (docs/ROBUSTNESS.md): ``solve --timeout`` /
 ``--max-iterations`` / ``--max-atoms`` budget the fixpoint and degrade
@@ -183,6 +192,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 max_iterations=hard_cap,
                 plan=args.plan,
                 pushdown=args.pushdown,
+                shards=args.shards,
+                workers=args.workers,
                 tracer=tracer,
                 budget=budget,
                 cancel=cancel,
@@ -249,6 +260,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
             plan=args.plan,
             pushdown=args.pushdown,
+            shards=args.shards,
+            workers=args.workers,
             tracer=tracer,
         )
     finally:
@@ -331,6 +344,56 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if not result.changed:
         print("% no applicable pushdown; program unchanged", file=sys.stderr)
     print(render_program(result.program))
+    return EXIT_OK
+
+
+def cmd_shard_plan(args: argparse.Namespace) -> int:
+    """Print per-component shard-safety verdicts (docs/PARALLELISM.md).
+
+    Text mode shows each component's status line plus the full witness
+    chain and merge-algebra verdicts; ``--format json`` emits a
+    machine-readable array, one object per component.  This is exactly
+    the analysis ``solve --plan sharded`` consults before forking.
+    """
+    import json as json_module
+
+    from repro.analysis.sharding import analyze_sharding
+
+    db = _load_database(args)
+    report = analyze_sharding(db.program)
+    if args.format == "json":
+        payload = []
+        for verdict in report.components:
+            payload.append(
+                {
+                    "predicates": sorted(verdict.component.cdb),
+                    "recursive": bool(verdict.component.internal_kinds),
+                    "status": verdict.status,
+                    "key": (
+                        {
+                            p: i
+                            for p, i in sorted(
+                                verdict.key.positions.items()
+                            )
+                        }
+                        if verdict.key is not None
+                        else None
+                    ),
+                    "witness": verdict.witness,
+                    "witnesses": [
+                        {
+                            "condition": w.condition,
+                            "detail": w.detail,
+                            "ok": w.ok,
+                        }
+                        for w in verdict.witnesses
+                    ],
+                    "rewrites": list(verdict.rewrites),
+                }
+            )
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(report.render())
     return EXIT_OK
 
 
@@ -606,10 +669,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument(
         "--plan",
-        choices=["smart", "off"],
+        choices=["smart", "off", "sharded"],
         default="smart",
         help="join-ordering mode of the compiled executor; 'off' keeps "
-        "the legacy schedule order",
+        "the legacy schedule order; 'sharded' hash-partitions "
+        "analyzer-certified components across worker processes "
+        "(docs/PARALLELISM.md)",
+    )
+    solve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="with --plan sharded: hash partitions per component "
+        "(default: 4x workers, min 8)",
+    )
+    solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with --plan sharded: worker processes (default: cpu count)",
     )
     solve.add_argument(
         "--pushdown",
@@ -658,8 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--max-iterations", type=int, default=100_000)
     profile.add_argument(
-        "--plan", choices=["smart", "off"], default="smart"
+        "--plan", choices=["smart", "off", "sharded"], default="smart"
     )
+    profile.add_argument("--shards", type=int, default=None)
+    profile.add_argument("--workers", type=int, default=None)
     profile.add_argument(
         "--pushdown", choices=["auto", "off"], default="auto"
     )
@@ -742,6 +822,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(optimize)
     optimize.set_defaults(handler=cmd_optimize)
 
+    shard_plan = sub.add_parser(
+        "shard-plan",
+        help="print per-component shard-safety verdicts (MAD9xx) with "
+        "witness chains and the proven partitioning keys "
+        "(see docs/PARALLELISM.md)",
+    )
+    add_common(shard_plan)
+    shard_plan.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    shard_plan.set_defaults(handler=cmd_shard_plan)
+
     lint = sub.add_parser(
         "lint",
         help="coded diagnostics (MAD1xx safety, MAD2xx conflicts, "
@@ -800,7 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="small sizes for CI smoke runs",
     )
     bench.add_argument(
-        "--plan", choices=["smart", "off"], default="smart"
+        "--plan", choices=["smart", "off", "sharded"], default="smart"
     )
     bench.add_argument(
         "--pushdown", choices=["auto", "off"], default="auto"

@@ -240,6 +240,8 @@ class Database:
         max_iterations: int = 100_000,
         plan: str = "smart",
         pushdown: str = "auto",
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
         tracer: Optional["Tracer"] = None,
         budget: Optional["Budget"] = None,
         cancel: Optional["CancelToken"] = None,
@@ -255,7 +257,10 @@ class Database:
         from such a checkpoint (see docs/ROBUSTNESS.md and
         :meth:`resume`).  ``pushdown="off"`` disables the aggregate
         pushdown optimization (see docs/OPTIMIZATION.md); the model is
-        identical either way.
+        identical either way.  ``plan="sharded"`` runs analyzer-certified
+        components hash-partitioned across ``workers`` processes
+        (``shards`` partitions) — see docs/PARALLELISM.md; the model is
+        bit-identical to the sequential plans.
         """
         result = solve(
             self.program,
@@ -265,6 +270,8 @@ class Database:
             max_iterations=max_iterations,
             plan=plan,
             pushdown=pushdown,
+            shards=shards,
+            workers=workers,
             tracer=tracer,
             budget=budget,
             cancel=cancel,

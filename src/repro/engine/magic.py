@@ -246,8 +246,7 @@ def magic_solve(
     seeded = Interpretation(seeded_program.declarations)
     for name, rel in edb.relations.items():
         if name in seeded_program.declarations:
-            target = seeded.relation(name)
-            target.tuples |= rel.tuples
+            seeded.relation(name).merge_tuples(rel.tuples)
 
     result = solve(seeded_program, seeded, check="none")
     predicate, pattern = query

@@ -1,0 +1,290 @@
+"""Sharded fixpoint execution: hash-partitioned parallel evaluation.
+
+Executes one SHARDABLE component (:mod:`repro.analysis.sharding`) as a
+fan-out/fan-in over OS processes:
+
+1. **Seed pass** (parent): the component's seed rules — those reading no
+   CDB predicate — are applied once via :func:`~repro.engine.tp.apply_tp`
+   against the lower-strata interpretation.  Their derivations are the
+   only entry points into the recursion.
+2. **Partition**: every seed row is assigned to a shard by hashing the
+   value in its predicate's proven key column (:class:`ShardKey`).  The
+   hash is ``zlib.crc32`` over ``repr`` — *stable across processes*,
+   unlike the builtin ``hash`` whose per-process randomization would make
+   parent and child disagree about ownership.
+3. **Fan-out**: a ``fork`` process pool runs the component's *recursive*
+   rules to fixpoint per shard, resuming from the shard's seed partition
+   (the evaluators' ``initial=`` resume path — a shard is literally a
+   checkpointed lower bound of the component restricted to its keys).
+   The program, lower-strata interpretation and compiled plans are
+   inherited copy-on-write through ``fork``; only the seed row batches
+   and result row batches cross process boundaries, as pickled plain
+   tuples.
+4. **Barrier merge**: shard interpretations are folded into one via the
+   relation mutators — ``set_cost(strict=False)`` *is* the lattice join,
+   i.e. the two-phase ``merge`` of :mod:`repro.aggregates.algebra`
+   applied at the granularity of whole interpretations.
+
+Soundness rests on the analyzer's proof: every derivation is key-local,
+so shard ``k`` computes exactly the monolithic model restricted to keys
+hashing to ``k``, and the barrier union is the monolithic model.  The
+differential suite (``tests/test_sharded_equivalence.py``) pins
+bit-identical models against the default plan and the naive evaluator.
+
+Worker processes run unsupervised and untraced (budgets, cancellation
+and telemetry remain parent-side, at seed/merge granularity); the solver
+therefore falls back to sequential evaluation for supervised or resumed
+solves — see ``_shard_fallback_reason`` in :mod:`repro.engine.solver`.
+
+Where it pays: each shard's fixpoint converges *independently*, so
+per-round costs stop accruing for early-converging shards instead of
+being dragged along for the component's global round count — on the
+naive evaluator (full ``T_P`` + model comparison per round) this yields
+real speedups on convergence-skewed workloads even on one core.  On
+multiple cores, shards additionally run truly in parallel (processes
+sidestep the GIL).  Honest numbers and non-wins are catalogued in
+docs/PARALLELISM.md.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.sharding import ShardKey
+from repro.datalog.program import Program
+from repro.engine.interpretation import Interpretation
+from repro.engine.naive import FixpointResult, kleene_fixpoint
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.supervisor import NULL_SUPERVISOR, Supervisor
+from repro.engine.tp import apply_tp
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: predicate → rows; cost rows are ``key + (cost,)``, ordinary rows are
+#: the tuple itself.  The only shape that crosses process boundaries.
+RowBatch = Dict[str, List[Tuple[Any, ...]]]
+
+
+def shard_of(value: Any, shards: int) -> int:
+    """The shard owning ``value`` — stable across processes and runs."""
+    return zlib.crc32(repr(value).encode("utf-8")) % shards
+
+
+def sharded_supported() -> Tuple[bool, str]:
+    """Whether this platform can run the fork-based executor."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False, "fork start method unavailable on this platform"
+    return True, ""
+
+
+@dataclass
+class _ForkContext:
+    """Everything a worker needs, inherited copy-on-write via fork."""
+
+    program: Program  # component rules minus seed rules
+    cdb: FrozenSet[str]
+    i: Interpretation  # lower strata + EDB (read-only in workers)
+    method: str  # "seminaive" | "kleene"
+    max_iterations: int
+    plan: str
+
+
+#: Module-level slot read by forked workers.  Only ever set around the
+#: Pool's lifetime in :func:`sharded_fixpoint`; fork snapshots it.
+_FORK: Dict[str, _ForkContext] = {}
+
+
+def _interpretation_rows(
+    interpretation: Interpretation, predicates: FrozenSet[str]
+) -> RowBatch:
+    """Flatten ``interpretation``'s rows for ``predicates`` to batches."""
+    out: RowBatch = {}
+    for name in predicates:
+        rel = interpretation.relations.get(name)
+        if rel is None or not len(rel):
+            continue
+        if rel.is_cost:
+            out[name] = [key + (value,) for key, value in rel.costs.items()]
+        else:
+            out[name] = list(rel.tuples)
+    return out
+
+
+def _merge_rows(target: Interpretation, rows: RowBatch) -> None:
+    """Lattice-join row batches into ``target`` (the barrier merge)."""
+    for name, batch in rows.items():
+        rel = target.relation(name)
+        if rel.is_cost:
+            for row in batch:
+                rel.set_cost(row[:-1], row[-1], strict=False)
+        else:
+            for row in batch:
+                rel.add_tuple(row)
+
+
+def _run_shard(payload: Tuple[int, RowBatch]) -> Tuple[RowBatch, int, str]:
+    """Worker: one shard's fixpoint over its seed partition.
+
+    Runs in a forked child; reads the parent's :data:`_FORK` snapshot.
+    Returns ``(derived rows, iterations, status)``.
+    """
+    _, rows = payload
+    ctx = _FORK["ctx"]
+    initial = Interpretation(ctx.program.declarations)
+    _merge_rows(initial, rows)
+    if ctx.method == "kleene":
+        fixpoint = kleene_fixpoint(
+            ctx.program,
+            ctx.cdb,
+            ctx.i,
+            max_iterations=ctx.max_iterations,
+            strict=False,
+            plan=ctx.plan,
+            tracer=NULL_TRACER,
+            supervisor=NULL_SUPERVISOR,
+            initial=initial,
+        )
+    else:
+        fixpoint = seminaive_fixpoint(
+            ctx.program,
+            ctx.cdb,
+            ctx.i,
+            max_iterations=ctx.max_iterations,
+            strict=False,
+            plan=ctx.plan,
+            tracer=NULL_TRACER,
+            supervisor=NULL_SUPERVISOR,
+            initial=initial,
+        )
+    return (
+        _interpretation_rows(fixpoint.interpretation, ctx.cdb),
+        fixpoint.iterations,
+        fixpoint.status,
+    )
+
+
+def _without_seed_rules(program: Program, seed_rules: List[Any]) -> Program:
+    """The program with this component's seed rules removed.
+
+    Workers must not re-run seed rules: they read only replicated lower
+    strata, so every shard would re-derive the *entire* seed set —
+    including rows owned by other shards.  The parent runs them once.
+    Rules are compared by identity (the same objects, not equal copies).
+    """
+    drop = {id(rule) for rule in seed_rules}
+    return Program(
+        rules=tuple(r for r in program.rules if id(r) not in drop),
+        declarations=tuple(program.declarations.values()),
+        constraints=program.constraints,
+        aggregates=dict(program.aggregates),
+        name=f"{program.name}+shard",
+        validate=False,
+    )
+
+
+def sharded_fixpoint(
+    program: Program,
+    cdb: FrozenSet[str],
+    i: Interpretation,
+    key: ShardKey,
+    component_rules: Tuple[Any, ...],
+    *,
+    method: str = "seminaive",
+    shards: int = 8,
+    workers: int = 2,
+    max_iterations: int = 100_000,
+    strict: bool = True,
+    plan: str = "smart",
+    tracer: Tracer = NULL_TRACER,
+    scc: int = 0,
+    supervisor: Supervisor = NULL_SUPERVISOR,
+) -> Tuple[FixpointResult, int]:
+    """Evaluate one SHARDABLE component hash-partitioned across workers.
+
+    ``key`` is the analyzer's proof object; ``component_rules`` the
+    component's rules in program order (``key.seed_rules`` /
+    ``key.recursive_rules`` index into it).  ``method`` selects the
+    per-shard evaluator — ``"kleene"`` or ``"seminaive"`` — so a sharded
+    solve exercises the *same* evaluator as its sequential counterpart
+    and benchmarks isolate the effect of sharding itself.
+
+    Returns ``(fixpoint result, shards actually populated)``.  The
+    result's ``iterations`` is the maximum over shards (the parallel
+    critical path); its trajectory is the merged model size.
+    """
+    seed_rules = [component_rules[idx] for idx in key.seed_rules]
+    empty = Interpretation(program.declarations)
+    seeds = apply_tp(
+        program,
+        cdb,
+        empty,
+        i,
+        rules=seed_rules,
+        strict=strict,
+        plan=plan,
+        tracer=tracer,
+        supervisor=supervisor,
+        scc=scc,
+    )
+
+    # Partition seed rows by the proven key column.  Shards with no seeds
+    # derive nothing (every recursive derivation is key-local and =r
+    # aggregates are false on empty groups), so they are never spawned.
+    partitions: Dict[int, RowBatch] = {}
+    for name, batch in _interpretation_rows(seeds, cdb).items():
+        pos = key.positions[name]
+        for row in batch:
+            bucket = partitions.setdefault(shard_of(row[pos], shards), {})
+            bucket.setdefault(name, []).append(row)
+
+    merged = Interpretation(program.declarations)
+    _merge_rows(merged, _interpretation_rows(seeds, cdb))
+
+    statuses: List[str] = []
+    iterations = 1  # the parent's seed pass
+    if partitions:
+        t_merge = tracer.clock() if tracer.enabled else 0.0
+        _FORK["ctx"] = _ForkContext(
+            program=_without_seed_rules(program, seed_rules),
+            cdb=cdb,
+            i=i,
+            method="kleene" if method in ("naive", "kleene") else "seminaive",
+            max_iterations=max_iterations,
+            plan=plan,
+        )
+        try:
+            mp = multiprocessing.get_context("fork")
+            payloads = sorted(partitions.items())
+            pool_size = max(1, min(workers, len(payloads)))
+            chunksize = max(1, len(payloads) // (pool_size * 4))
+            with mp.Pool(pool_size) as pool:
+                results = pool.map(_run_shard, payloads, chunksize=chunksize)
+        finally:
+            _FORK.pop("ctx", None)
+        for rows, shard_iterations, status in results:
+            _merge_rows(merged, rows)
+            statuses.append(status)
+            iterations = max(iterations, shard_iterations + 1)
+        if tracer.enabled:
+            tracer.emit(
+                "shard_merge",
+                scc=scc,
+                shards=len(partitions),
+                workers=pool_size,
+                atoms=merged.total_size(),
+                wall_s=round(tracer.clock() - t_merge, 6),
+            )
+
+    bad = [s for s in statuses if s != "complete"]
+    return (
+        FixpointResult(
+            interpretation=merged,
+            iterations=iterations,
+            ascending=True,
+            trajectory=[merged.total_size()],
+            status=bad[0] if bad else "complete",
+        ),
+        len(partitions),
+    )

@@ -31,6 +31,7 @@ concurrent solves never share them.  See docs/OBSERVABILITY.md.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Literal, Optional, Tuple
 
@@ -38,6 +39,7 @@ from repro.analysis.classify import ProgramClassification, classify_program
 from repro.analysis.dependencies import Component, condense
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.report import AnalysisReport, analyze_program
+from repro.analysis.sharding import ShardingReport, analyze_sharding
 from repro.datalog.errors import NotAdmissibleError, SafetyError
 from repro.datalog.program import Program
 from repro.engine.checkpoint import Checkpoint
@@ -51,6 +53,7 @@ from repro.engine.interpretation import (
 from repro.engine.greedy import greedy_applicable, greedy_fixpoint
 from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.sharded import sharded_fixpoint, sharded_supported
 from repro.engine.supervisor import (
     NULL_SUPERVISOR,
     Budget,
@@ -143,6 +146,8 @@ def solve(
     max_iterations: int = 100_000,
     plan: str = "smart",
     pushdown: str = "auto",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     budget: Optional[Budget] = None,
     cancel: Optional[CancelToken] = None,
@@ -157,7 +162,13 @@ def solve(
 
     ``plan`` selects the join-ordering mode of the compiled execution
     layer (:mod:`repro.engine.exec`): ``"smart"`` (selectivity-aware,
-    default) or ``"off"`` (legacy schedule order).
+    default) or ``"off"`` (legacy schedule order).  ``plan="sharded"``
+    additionally hash-partitions every component the shard-safety
+    analyzer (:mod:`repro.analysis.sharding`) certifies SHARDABLE across
+    ``workers`` OS processes (``shards`` partitions), falling back to
+    sequential evaluation — with a ``shard_plan`` telemetry event naming
+    the lint-consistent reason — for BLOCKED components, supervised or
+    resumed solves; join ordering stays ``"smart"``.
 
     ``pushdown`` controls the aggregate-pushdown optimization
     (:mod:`repro.analysis.premap`): with ``"auto"`` (default),
@@ -193,6 +204,8 @@ def solve(
             max_iterations=max_iterations,
             plan=plan,
             pushdown=pushdown,
+            shards=shards,
+            workers=workers,
             tracer=t,
             budget=budget,
             cancel=cancel,
@@ -229,6 +242,8 @@ def _solve_traced(
     max_iterations: int,
     plan: str,
     pushdown: str = "auto",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
     tracer: Tracer,
     budget: Optional[Budget] = None,
     cancel: Optional[CancelToken] = None,
@@ -301,14 +316,16 @@ def _solve_traced(
     auto_methods: Dict[frozenset, str] = {}
     eval_classification: Optional[ProgramClassification] = classification
     if eval_program is not program and (
-        method == "auto" or classification is not None
+        method == "auto" or plan == "sharded" or classification is not None
     ):
         # The rewrite changed the SCC structure; classify what runs so
         # auto picks methods (and telemetry reports verdicts) for the
         # rewritten components, not the original ones.
         with tracer.phase("classify"):
             eval_classification = classify_program(eval_program)
-    elif method == "auto" and eval_classification is None:
+    elif (
+        method == "auto" or plan == "sharded"
+    ) and eval_classification is None:
         with tracer.phase("classify"):
             eval_classification = classify_program(program)
     if method == "auto":
@@ -330,6 +347,19 @@ def _solve_traced(
         if budget is not None or cancel is not None
         else NULL_SUPERVISOR
     )
+
+    # -- shard plan: the analyzer's per-component proofs, resolved once.
+    # Join ordering inside evaluators stays "smart" (the exec layer has
+    # no "sharded" mode; sharding is a solver-level strategy).
+    exec_plan = "smart" if plan == "sharded" else plan
+    sharding_report: Optional[ShardingReport] = None
+    n_workers = workers if workers is not None else (os.cpu_count() or 1)
+    n_shards = shards if shards is not None else max(8, 4 * n_workers)
+    if plan == "sharded":
+        with tracer.phase("shard-plan"):
+            sharding_report = analyze_sharding(
+                eval_program, classification=eval_classification
+            )
 
     state = edb.copy() if edb is not None else Interpretation(program.declarations)
     if resume is not None:
@@ -361,6 +391,29 @@ def _solve_traced(
         # per-key costs (the join IS the aggregate) — disable the
         # strict functional-dependency check for them only.
         strict_costs = aux_predicates.isdisjoint(component.cdb)
+        shard_verdict = (
+            sharding_report.for_component(component)
+            if sharding_report is not None
+            else None
+        )
+        use_sharded, shard_reason = _shard_decision(
+            plan, shard_verdict, resume, supervisor
+        )
+        if plan == "sharded" and tracer.enabled:
+            tracer.emit(
+                "shard_plan",
+                scc=index,
+                predicates=sorted(component.cdb),
+                status=(
+                    shard_verdict.status
+                    if shard_verdict is not None
+                    else "unknown"
+                ),
+                action="sharded" if use_sharded else "fallback",
+                reason=shard_reason,
+                shards=n_shards,
+                workers=n_workers,
+            )
         initial = (
             _component_initial(state, component, eval_program)
             if resume is not None
@@ -391,14 +444,34 @@ def _solve_traced(
             )
             t_scc = tracer.clock()
         try:
-            if chosen == "seminaive":
+            if use_sharded:
+                assert shard_verdict is not None
+                assert shard_verdict.key is not None
+                fixpoint, _populated = sharded_fixpoint(
+                    eval_program,
+                    component.cdb,
+                    state,
+                    shard_verdict.key,
+                    component.rules,
+                    method=chosen,
+                    shards=n_shards,
+                    workers=n_workers,
+                    max_iterations=max_iterations,
+                    strict=strict_costs,
+                    plan=exec_plan,
+                    tracer=tracer,
+                    scc=index,
+                    supervisor=supervisor,
+                )
+                chosen = f"{chosen}+sharded"
+            elif chosen == "seminaive":
                 fixpoint = seminaive_fixpoint(
                     eval_program,
                     component.cdb,
                     state,
                     max_iterations=max_iterations,
                     strict=strict_costs,
-                    plan=plan,
+                    plan=exec_plan,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,
@@ -410,7 +483,7 @@ def _solve_traced(
                     component,
                     state,
                     assume_invariant=True,
-                    plan=plan,
+                    plan=exec_plan,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,
@@ -423,7 +496,7 @@ def _solve_traced(
                     state,
                     max_iterations=max_iterations,
                     strict=strict_costs,
-                    plan=plan,
+                    plan=exec_plan,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,
@@ -499,6 +572,44 @@ def _solve_traced(
         if tracer.collect:
             result.telemetry = summarize(tracer.events)
     return result
+
+
+def _shard_decision(
+    plan: str,
+    verdict,
+    resume: Optional[Checkpoint],
+    supervisor: Supervisor,
+) -> Tuple[bool, str]:
+    """Whether to shard this component, with the lint-consistent reason.
+
+    The reason string mirrors the analyzer's witness chain (MAD901-903)
+    so the telemetry fallback event and `repro shard-plan` agree.
+    """
+    if plan != "sharded":
+        return False, ""
+    if verdict is None:
+        return False, "component not analyzed"
+    if not verdict.ok:
+        return False, verdict.witness or verdict.status
+    if verdict.key is None:
+        return False, "no key plan"
+    if resume is not None:
+        return False, "resuming from a checkpoint"
+    if supervisor.active and (
+        supervisor.budget.bounded or supervisor.budget.on_divergence == "abort"
+    ):
+        # Budgets and divergence heuristics poll inside the fixpoint
+        # loops; forked workers run unsupervised, so a budgeted solve
+        # stays sequential.  A bare CancelToken (the CLI's Ctrl-C path)
+        # does not block sharding — it is honored between components.
+        return (
+            False,
+            "budgeted solve (budgets are enforced parent-side only)",
+        )
+    supported, why = sharded_supported()
+    if not supported:
+        return False, why
+    return True, ""
 
 
 def _flush_telemetry(

@@ -21,7 +21,9 @@ Version history: v1 — initial schema; v2 — supervision events
 (``budget_exceeded``, ``cancelled``, ``checkpoint``,
 ``divergence_warning``) for budgeted/cancellable solves (see
 docs/ROBUSTNESS.md); v3 — the ``rewrite_applied`` event recording a
-plan-layer aggregate pushdown (see docs/OPTIMIZATION.md).
+plan-layer aggregate pushdown (see docs/OPTIMIZATION.md); v4 — sharded
+execution events (``shard_plan``, ``shard_merge``) for
+``plan="sharded"`` solves (see docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Version stamped into every event's ``v`` field.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _NUM = (int, float)
 _OPT_STR = (str, type(None))
@@ -132,6 +134,29 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[Tuple[type, ...], bool]]] = {
         "scc": ((int,), True),
         "iteration": ((int,), True),
         "detail": ((str,), True),
+    },
+    # -- sharded execution events (v4): plan="sharded" solves ----------
+    # One per component under plan="sharded": the shard-safety verdict
+    # (MAD901-903) and whether the solver sharded or fell back; on
+    # fallback ``reason`` names the first failing witness, matching the
+    # lint message.
+    "shard_plan": {
+        "scc": ((int,), True),
+        "predicates": ((list,), True),
+        "status": ((str,), True),  # shardable | ... | blocked | unknown
+        "action": ((str,), True),  # sharded | fallback
+        "reason": ((str,), True),  # empty when action == "sharded"
+        "shards": ((int,), True),
+        "workers": ((int,), True),
+    },
+    # One per sharded component after the barrier: fan-out shape and the
+    # wall-clock of the whole fork/fixpoint/merge span.
+    "shard_merge": {
+        "scc": ((int,), True),
+        "shards": ((int,), True),  # partitions actually populated
+        "workers": ((int,), True),  # pool size actually used
+        "atoms": ((int,), True),
+        "wall_s": (_NUM, True),
     },
 }
 

@@ -51,10 +51,11 @@ def rmonotonic_fixpoint(
     for name, rel in edb.relations.items():
         target = sets_edb.relation(name)
         if rel.is_cost:
-            for key, value in rel.costs.items():
-                target.tuples.add(key + (value,))
+            target.merge_tuples(
+                {key + (value,) for key, value in rel.costs.items()}
+            )
         else:
-            target.tuples |= rel.tuples
+            target.merge_tuples(rel.tuples)
     idb = sets_program.idb_predicates
     j = Interpretation(sets_program.declarations)
     for _ in range(max_rounds):

@@ -146,9 +146,9 @@ def enumerate_stable_models(
                 continue
             rel = candidate.relation(name)
             if rel.is_cost:
-                rel.costs[key] = value
+                rel.set_cost(key, value)
             else:
-                rel.tuples.add(key)
+                rel.add_tuple(key)
         if is_stable_model(program, edb, candidate, max_rounds=max_rounds):
             models.append(candidate)
     return models

@@ -273,11 +273,11 @@ def kemp_stuckey_wf(
         if rel.is_cost:
             for key, value in rel.costs.items():
                 if (name, key) in clean:
-                    target.costs[key] = value
+                    target.set_cost(key, value)
         else:
             for key in rel.tuples:
                 if (name, key) in clean:
-                    target.tuples.add(key)
+                    target.add_tuple(key)
     for name, bucket in possible.keys.items():
         for key in bucket:
             if (name, key) not in clean:

@@ -9,6 +9,7 @@ from repro.workloads.graphs import (
     random_dag,
     random_digraph,
     revision_chain,
+    straggler_graph,
 )
 from repro.workloads.ownership import company_control_oracle, random_ownership
 from repro.workloads.social import party_oracle, random_party
@@ -18,6 +19,7 @@ __all__ = [
     "random_dag",
     "layered_digraph",
     "revision_chain",
+    "straggler_graph",
     "cycle_graph",
     "dijkstra_all_pairs",
     "bellman_ford_all_pairs",

@@ -136,6 +136,47 @@ def revision_chain(m: int, *, width: int = 18) -> List[Arc]:
     return arcs
 
 
+def straggler_graph(
+    hubs: int,
+    *,
+    depth: Optional[int] = None,
+    fan: int = 12,
+    seed: int = 0,
+) -> List[Arc]:
+    """A convergence-skewed graph: the showcase for ``plan="sharded"``
+    (docs/PARALLELISM.md).
+
+    Two disconnected arc groups:
+
+    * one deep unit-weight chain ``a_0 -> ... -> a_depth`` (the
+      *straggler*: its sources need up to ``depth`` fixpoint rounds);
+    * ``hubs`` shallow stars ``h_j -> l_{j,k}`` (``fan`` leaves each,
+      random weights): the bulk of the model, converging in one round.
+
+    Under sequential naive evaluation every round re-applies ``T_P`` to
+    the *whole* interpretation, so the long-converging chain drags the
+    huge already-stable star blob through ~``depth`` rounds.  Sharded
+    evaluation partitions by source vertex: star-only shards converge
+    immediately and stop, and only the chain's shards keep iterating —
+    total work drops from ``depth x (blob + chain)`` to roughly
+    ``blob + depth x chain`` even on a single core.
+
+    ``depth`` defaults to ``max(8, hubs // 10)`` so quick benchmark
+    sizes stay shallow.  Node ids: chain ``0..depth``, hub ``j`` is
+    ``depth + 1 + j * (fan + 1)``, its leaves follow it.
+    """
+    if depth is None:
+        depth = max(8, hubs // 10)
+    rng = random.Random(seed)
+    arcs: List[Arc] = [(i, i + 1, 1.0) for i in range(depth)]
+    base = depth + 1
+    for j in range(hubs):
+        hub = base + j * (fan + 1)
+        for k in range(fan):
+            arcs.append((hub, hub + 1 + k, float(rng.randrange(1, 10))))
+    return arcs
+
+
 def cycle_graph(n: int, *, weight: float = 1.0) -> List[Arc]:
     """A single directed n-cycle — the minimal stress test for semantics
     that go three-valued on cyclic data."""

@@ -96,7 +96,11 @@ class TestNegationOnCdb:
 class TestNonMonotonicAggregateRejected:
     def test_unclassified_aggregate(self):
         """An aggregate declared NONMONOTONIC over a CDB predicate fails."""
-        from repro.aggregates.base import AggregateFunction, Monotonicity
+        from repro.aggregates.base import (
+            AggregateFunction,
+            EmptyAggregateError,
+            Monotonicity,
+        )
         from repro.aggregates.standard import default_registry
         from repro.lattices import REALS_LE
         from repro.util.multiset import FrozenMultiset
@@ -108,9 +112,26 @@ class TestNonMonotonicAggregateRejected:
             def __init__(self):
                 super().__init__(REALS_LE, REALS_LE)
 
-            def apply_nonempty(self, multiset: FrozenMultiset):
-                values = list(multiset)
-                return max(values) - min(values)
+            def state_create(self):
+                return None
+
+            def process(self, state, value, count=1):
+                if state is None:
+                    return (value, value)
+                lo, hi = state
+                return (min(lo, value), max(hi, value))
+
+            def merge(self, state, other):
+                if state is None:
+                    return other
+                if other is None:
+                    return state
+                return (min(state[0], other[0]), max(state[1], other[1]))
+
+            def convert(self, state):
+                if state is None:
+                    raise EmptyAggregateError("spread: empty partial state")
+                return state[1] - state[0]
 
         aggregates = default_registry()
         aggregates["spread"] = Spread()

@@ -140,8 +140,17 @@ class TestDefaultsAcrossComponents:
             def __init__(self):
                 super().__init__(BOOL_LE, NATURALS_LE)
 
-            def apply_nonempty(self, multiset):
-                return sum(int(v) for v in multiset)
+            def state_create(self):
+                return 0
+
+            def process(self, state, value, count=1):
+                return state + int(value) * count
+
+            def merge(self, state, other):
+                return state + other
+
+            def convert(self, state):
+                return state
 
         db = Database()
         db.register_aggregate(SumFlags())

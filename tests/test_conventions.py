@@ -1,0 +1,125 @@
+"""Internal coding conventions, enforced statically over the source tree.
+
+Two invariants the engine's correctness arguments lean on:
+
+1. **Relation mutation goes through the apply-or-rollback helpers.**
+   ``Relation.add_tuple`` / ``set_cost`` / ``merge_tuples`` keep the
+   incremental indexes and row caches consistent (or invalidated) on
+   every code path, including raising ones (see the fault-injection
+   suite).  Direct writes to the raw ``tuples`` / ``costs`` containers
+   bypass that machinery and resurface the torn-index bugs those
+   helpers exist to prevent — so outside the helpers' home module they
+   are banned.
+
+2. **Engine hot loops use the supervisor/tracer clocks, not
+   ``time.time()``.**  ``time.time()`` is wall-clock (it jumps on NTP
+   adjustments) and uncontrollable in tests; the supervisor's injected
+   ``clock`` and the tracer's ``clock`` are monotonic and fakeable.  A
+   stray ``time.time()`` in a fixpoint loop silently escapes both the
+   budget machinery and the telemetry timebase.
+
+The checks are text-based on purpose: they run without imports, see
+every module (including ones tests never load), and the patterns are
+specific enough that false positives are handled with the small
+explicit allowlists below.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Files allowed to touch the raw containers: the helpers' home module
+#: (the mutators themselves plus interpretation-level join/copy, whose
+#: bulk writes invalidate indexes wholesale).
+MUTATION_ALLOWLIST = {
+    "engine/interpretation.py",
+}
+
+#: Direct writes to a Relation's raw containers.  Reads (``in``,
+#: ``.get``, iteration) are fine — only mutation is index-bearing.
+MUTATION_PATTERNS = [
+    re.compile(r"\.tuples\.add\("),
+    re.compile(r"\.tuples\.discard\("),
+    re.compile(r"\.tuples\.remove\("),
+    re.compile(r"\.tuples\.clear\("),
+    re.compile(r"\.tuples\s*\|="),
+    re.compile(r"\.tuples\s*-="),
+    re.compile(r"\.costs\[[^\]]+\]\s*="),
+    re.compile(r"\.costs\.pop\("),
+    re.compile(r"\.costs\.update\("),
+    re.compile(r"\.costs\.clear\("),
+]
+
+#: Engine modules whose loops run per fixpoint round / per derivation.
+ENGINE_HOT_MODULES = [
+    "engine/exec.py",
+    "engine/tp.py",
+    "engine/naive.py",
+    "engine/seminaive.py",
+    "engine/greedy.py",
+    "engine/sharded.py",
+    "engine/solver.py",
+    "engine/grounding.py",
+    "engine/supervisor.py",
+]
+
+TIME_TIME = re.compile(r"\btime\.time\(\)")
+
+
+def _source_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+def _violations(path: Path, patterns):
+    rel = path.relative_to(SRC).as_posix()
+    out = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        for pattern in patterns:
+            if pattern.search(line):
+                out.append(f"{rel}:{lineno}: {stripped}")
+    return out
+
+
+def test_relation_mutation_goes_through_helpers():
+    offenders = []
+    for path in _source_files():
+        rel = path.relative_to(SRC).as_posix()
+        if rel in MUTATION_ALLOWLIST:
+            continue
+        offenders.extend(_violations(path, MUTATION_PATTERNS))
+    assert not offenders, (
+        "direct Relation container mutation outside the apply-or-rollback "
+        "helpers (use add_tuple/set_cost/merge_tuples):\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_no_wall_clock_in_engine_hot_loops():
+    offenders = []
+    for rel in ENGINE_HOT_MODULES:
+        path = SRC / rel
+        assert path.exists(), f"hot-loop module list is stale: {rel}"
+        offenders.extend(_violations(path, [TIME_TIME]))
+    assert not offenders, (
+        "time.time() in an engine hot loop (use the supervisor's or "
+        "tracer's injected monotonic clock):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_allowlist_is_not_stale():
+    """Every allowlisted file must still exist and still need the pass."""
+    for rel in MUTATION_ALLOWLIST:
+        path = SRC / rel
+        assert path.exists(), f"allowlist entry vanished: {rel}"
+        assert _violations(path, MUTATION_PATTERNS), (
+            f"allowlist entry {rel} no longer touches the raw containers; "
+            f"remove it"
+        )

@@ -146,8 +146,17 @@ class TestCustomRegistration:
             def __init__(self):
                 super().__init__(NONNEG_REALS_LE, NONNEG_REALS_LE)
 
-            def apply_nonempty(self, multiset):
-                return sum(v * v for v in multiset)
+            def state_create(self):
+                return 0
+
+            def process(self, state, value, count=1):
+                return state + value * value * count
+
+            def merge(self, state, other):
+                return state + other
+
+            def convert(self, state):
+                return state
 
         db = Database()
         db.register_aggregate(SquareSum())

@@ -126,8 +126,22 @@ class TestMisdeclaredAggregates:
             def __init__(self):
                 super().__init__(REALS_LE, REALS_LE)
 
-            def apply_nonempty(self, multiset):
-                return min(multiset.support())  # min against ≤: not monotone
+            # min against <=: not monotone over growing multisets
+            def state_create(self):
+                return None
+
+            def process(self, state, value, count=1):
+                return value if state is None else min(state, value)
+
+            def merge(self, state, other):
+                if state is None:
+                    return other
+                if other is None:
+                    return state
+                return min(state, other)
+
+            def convert(self, state):
+                return state
 
         verdict = verify_monotonic(Liar())
         assert not verdict.holds

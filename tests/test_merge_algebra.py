@@ -1,0 +1,249 @@
+"""Merge-algebra properties of every registered two-phase aggregate.
+
+Sharded evaluation (docs/PARALLELISM.md) is sound only when each
+aggregate's partial-state algebra ``(S, merge, state_create())`` is a
+commutative monoid acted on compatibly by ``process``:
+
+* soundness:     ``convert(merge(fold(A), fold(B))) = F(A ⊎ B)``
+* commutativity: ``merge(s, t) ≡ merge(t, s)``
+* associativity: ``merge(merge(s, t), u) ≡ merge(s, merge(t, u))``
+* identity:      ``state_create()`` is two-sided neutral
+
+The systematic sweep in :mod:`repro.aggregates.algebra` feeds the
+analyzer's witness chain; this suite stresses the same properties with
+hypothesis-randomized multisets, so the long tail (large counts, mixed
+int/float sums, adversarial partitions) gets covered too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (
+    MERGE_PROPERTIES,
+    LatticeJoin,
+    LatticeMeet,
+    default_registry,
+    verify_merge_algebra,
+)
+from repro.aggregates.algebra import (
+    multiset_union,
+    sample_multisets,
+    states_equivalent,
+)
+from repro.aggregates.base import EmptyAggregateError
+from repro.lattices import BOOL_LE, REALS_GE
+from repro.util.multiset import FrozenMultiset
+
+REGISTRY = default_registry()
+ALL_FUNCTIONS = dict(REGISTRY)
+ALL_FUNCTIONS["join_reals_ge"] = LatticeJoin(REALS_GE)
+ALL_FUNCTIONS["meet_bool_le"] = LatticeMeet(BOOL_LE)
+
+
+# ---------------------------------------------------------------------------
+# The systematic verifier: every function, all four properties
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FUNCTIONS), ids=str)
+def test_systematic_verifier_passes(name):
+    verdicts = verify_merge_algebra(ALL_FUNCTIONS[name])
+    assert [v.property_checked for v in verdicts] == list(MERGE_PROPERTIES)
+    for verdict in verdicts:
+        assert verdict.holds, str(verdict)
+        assert verdict.cases_checked > 0
+
+
+def test_verifier_catches_broken_merge():
+    """A deliberately wrong merge must produce a failing verdict."""
+    from repro.aggregates.standard import Sum
+
+    class BadSum(Sum):
+        def merge(self, state, other):
+            total, all_int = super().merge(state, other)
+            return (total + 1, all_int)  # off by one per merge
+
+    verdicts = verify_merge_algebra(BadSum())
+    failed = [v for v in verdicts if not v.holds]
+    assert failed, "broken merge slipped through"
+    assert all(v.counterexample for v in failed)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis stress: randomized multisets, every registered aggregate
+# ---------------------------------------------------------------------------
+
+# Values drawn per function family: the domain lattices differ (reals,
+# booleans, sets, edges), so each gets a matching strategy.
+_REAL_NAMES = [
+    name
+    for name, fn in ALL_FUNCTIONS.items()
+    if fn.domain.name.startswith("reals")
+]
+_BOOL_NAMES = [
+    name
+    for name, fn in ALL_FUNCTIONS.items()
+    if fn.domain.name.startswith("bool")
+]
+
+reals = st.one_of(
+    st.integers(-9, 9),
+    st.floats(
+        min_value=-16.0, max_value=16.0, allow_nan=False, allow_infinity=False
+    ),
+)
+real_multisets = st.lists(reals, max_size=6).map(FrozenMultiset)
+bool_multisets = st.lists(st.integers(0, 1), max_size=6).map(FrozenMultiset)
+
+
+def _check_partition_soundness(fn, parts):
+    """fold-per-part + merge == monolithic fold, for any partition."""
+    whole = parts[0]
+    for part in parts[1:]:
+        whole = multiset_union(whole, part)
+    state = fn.state_create()
+    for part in parts:
+        state = fn.merge(state, fn.fold(part))
+    if not whole:
+        # Zero-state aggregates (sum, count, ...) convert the empty
+        # state to their neutral element, which must then be F(∅);
+        # everything else must raise.
+        try:
+            converted = fn.convert(state)
+        except EmptyAggregateError:
+            return
+        assert fn.has_empty_value, (
+            f"{fn.name}: empty partition converts to {converted!r} "
+            f"but F(∅) is undefined"
+        )
+        assert fn.range_.close(converted, fn.empty_value())
+        return
+    merged = fn.convert(state)
+    direct = fn.apply_nonempty(whole)
+    assert fn.range_.close(merged, direct), (
+        f"{fn.name}: partitioned {merged!r} != monolithic {direct!r} "
+        f"for parts {parts!r}"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(real_multisets, min_size=1, max_size=4),
+    st.sampled_from(sorted(_REAL_NAMES)),
+)
+def test_real_aggregates_partition_soundness(parts, name):
+    _check_partition_soundness(ALL_FUNCTIONS[name], parts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(bool_multisets, min_size=1, max_size=4),
+    st.sampled_from(sorted(_BOOL_NAMES)),
+)
+def test_bool_aggregates_partition_soundness(parts, name):
+    _check_partition_soundness(ALL_FUNCTIONS[name], parts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    real_multisets,
+    real_multisets,
+    real_multisets,
+    st.sampled_from(sorted(_REAL_NAMES)),
+)
+def test_real_aggregates_merge_commutes_and_associates(a, b, c, name):
+    fn = ALL_FUNCTIONS[name]
+    s, t, u = fn.fold(a), fn.fold(b), fn.fold(c)
+    assert states_equivalent(fn, fn.merge(s, t), fn.merge(t, s))
+    assert states_equivalent(
+        fn, fn.merge(fn.merge(s, t), u), fn.merge(s, fn.merge(t, u))
+    )
+    empty = fn.state_create()
+    assert states_equivalent(fn, fn.merge(s, empty), s)
+    assert states_equivalent(fn, fn.merge(empty, s), s)
+
+
+# ---------------------------------------------------------------------------
+# Two-phase interface invariants the executor relies on
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FUNCTIONS), ids=str)
+def test_fold_equals_apply_nonempty(name):
+    """F(I) must factor through the two-phase pipeline exactly."""
+    fn = ALL_FUNCTIONS[name]
+    for multiset in sample_multisets(fn.domain, max_size=3):
+        if not multiset:
+            continue
+        via_phases = fn.convert(fn.fold(multiset))
+        direct = fn.apply_nonempty(multiset)
+        assert fn.range_.close(via_phases, direct)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FUNCTIONS), ids=str)
+def test_empty_state_converts_consistently(name):
+    """convert(state_create()) raises, or equals F(∅) where defined.
+
+    Zero-state aggregates (sum, count, ...) conflate the empty state
+    with their neutral element; that is sound exactly when the neutral
+    element *is* ``F(∅)``.  Everything else must raise so the ``=r``
+    form stays false on empty groups.
+    """
+    fn = ALL_FUNCTIONS[name]
+    try:
+        converted = fn.convert(fn.state_create())
+    except EmptyAggregateError:
+        return
+    assert fn.has_empty_value, (
+        f"{fn.name}: empty state converts to {converted!r} but F(∅) "
+        f"is undefined"
+    )
+    assert fn.range_.close(converted, fn.empty_value())
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FUNCTIONS), ids=str)
+def test_states_are_picklable_plain_values(name):
+    """States cross process boundaries: must pickle and compare equal."""
+    import pickle
+
+    fn = ALL_FUNCTIONS[name]
+    for multiset in sample_multisets(fn.domain, max_size=2)[:16]:
+        state = fn.fold(multiset)
+        clone = pickle.loads(pickle.dumps(state))
+        assert states_equivalent(fn, state, clone)
+
+
+def test_process_respects_counts():
+    """process(state, v, count=k) == k-fold process — bags, not sets."""
+    for fn in ALL_FUNCTIONS.values():
+        sample = list(fn.domain.sample() or [])[:2]
+        if not sample:
+            continue
+        value = sample[-1]
+        bulk = fn.process(fn.state_create(), value, count=3)
+        one_by_one = fn.state_create()
+        for _ in range(3):
+            one_by_one = fn.process(one_by_one, value)
+        assert states_equivalent(fn, bulk, one_by_one), fn.name
+
+
+def test_sum_merge_int_float_promotion():
+    """Mixed int/float partitions agree with the monolithic sum's type."""
+    fn = REGISTRY["sum"]
+    a = FrozenMultiset([1, 2.5])
+    b = FrozenMultiset([3])
+    merged = fn.convert(fn.merge(fn.fold(a), fn.fold(b)))
+    assert merged == fn.apply_nonempty(multiset_union(a, b)) == 6.5
+
+
+def test_sum_merge_infinity_absorbs():
+    fn = REGISTRY["sum"]
+    inf = FrozenMultiset([math.inf])
+    finite = FrozenMultiset([2, 3])
+    merged = fn.convert(fn.merge(fn.fold(inf), fn.fold(finite)))
+    assert math.isinf(merged)

@@ -4,14 +4,6 @@ from repro.engine.provenance import explain, justifications
 from repro.programs import circuit, company_control, shortest_path
 
 
-def test_engine_trace_shim_reexports():
-    # engine.trace is the deprecated alias kept for old imports.
-    from repro.engine import trace
-
-    assert trace.explain is explain
-    assert trace.justifications is justifications
-
-
 class TestJustifications:
     def test_every_derived_atom_is_justified(self):
         db = shortest_path.database(
@@ -99,21 +91,3 @@ class TestExplain:
         assert "t('g', 1)" in tree
         assert "t('w', 1)" in tree  # the witness wire
 
-
-class TestEngineTraceShim:
-    def test_import_warns_and_reexports(self):
-        import importlib
-        import sys
-        import warnings
-
-        sys.modules.pop("repro.engine.trace", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.engine.trace")
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        ), "importing the legacy module must warn"
-        from repro.engine import provenance
-
-        assert shim.explain is provenance.explain
-        assert shim.justifications is provenance.justifications
