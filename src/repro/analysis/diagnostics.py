@@ -37,6 +37,7 @@ MAD6xx whole-program lattice type inference (Section 4.2 generalized)
 MAD7xx runtime divergence findings (engine supervisor) — never static
 MAD8xx premappability / aggregate pushdown (docs/OPTIMIZATION.md) — never errors
 MAD9xx shard-safety / parallel evaluation (docs/PARALLELISM.md) — never errors
+MAD10xx bulk data loading (repro.data, docs/STORAGE.md) — load-time, never static
 ====== =====================================================
 
 Diagnostics for mechanical defects carry :class:`~repro.analysis.fixes.Fix`
@@ -439,6 +440,37 @@ _RULES = [
         "universe, the component is not certified monotonic, or a merge "
         "algebra fails); plan=\"sharded\" evaluates this component "
         "sequentially, which is sound — just not parallel.",
+    ),
+    # MAD10xx — bulk data loading (repro.data, docs/STORAGE.md).  Like
+    # MAD7xx these are not static findings: they are raised while
+    # streaming CSV/JSONL rows into an extensional database, where the
+    # program may be pristine and the data file is not.
+    LintRule(
+        "MAD1001",
+        "malformed-input-row",
+        Severity.ERROR,
+        "bulk data plane (docs/STORAGE.md)",
+        "A data-file row could not be decoded into a fact (invalid "
+        "JSON, wrong shape, an invalid cost value, or an unknown "
+        "predicate), so it cannot enter any relation.",
+    ),
+    LintRule(
+        "MAD1002",
+        "row-arity-mismatch",
+        Severity.ERROR,
+        "bulk data plane (docs/STORAGE.md)",
+        "A decoded row's width disagrees with its predicate's declared "
+        "arity, so binding fields to argument positions is ambiguous.",
+    ),
+    LintRule(
+        "MAD1003",
+        "intensional-load-target",
+        Severity.ERROR,
+        "EDB/IDB split (Section 2); bulk data plane (docs/STORAGE.md)",
+        "Bulk loads stream straight into the extensional database, but "
+        "this predicate is defined by rules: its facts must become fact "
+        "rules re-derived inside the fixpoint (see Database.program), "
+        "which a streaming load cannot provide.",
     ),
 ]
 

@@ -40,7 +40,17 @@ from repro.obs import Tracer
 #: ``plan="sharded"`` (docs/PARALLELISM.md); per-workload pinned-option
 #: metadata (``plan``/``shards``/``workers``) and the observed
 #: ``sharded_components`` count.
-FORMAT_VERSION = 5
+#: v6: per-workload ``storage`` mode plus memory accounting — an extra
+#: untimed repetition under ``tracemalloc`` records ``mem_peak_bytes``
+#: and ``bytes_per_atom`` (peak allocation over derived+EDB atoms), and
+#: ``ru_maxrss_kb`` snapshots the process high-water RSS (monotone
+#: across the suite: only per-workload *increases* are attributable).
+#: New dataset-backed workloads exercising the bulk data plane
+#: (docs/STORAGE.md): the ``bulk_ingest`` / ``bulk_ingest_columnar``
+#: and ``road_network`` / ``road_network_columnar`` storage pairs (CSV
+#: road networks streamed via ``Database.load_csv``) and
+#: ``company_control_dataset`` (ownership shares via ``load_jsonl``).
+FORMAT_VERSION = 6
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
@@ -75,12 +85,14 @@ def _make_shortest_path(method: str) -> Callable[[int], Callable[..., Any]]:
             tracer: Optional[Tracer] = None,
             budget: Optional[Budget] = None,
             pushdown: str = "auto",
+            storage: str = "boxed",
         ) -> Any:
             db = shortest_path.database({"arc": arcs})
             return db.solve(
                 method=method,
                 plan=plan,
                 pushdown=pushdown,
+                storage=storage,
                 tracer=tracer,
                 budget=budget,
             )
@@ -101,12 +113,14 @@ def _company_control(size: int) -> Callable[..., Any]:
         tracer: Optional[Tracer] = None,
         budget: Optional[Budget] = None,
         pushdown: str = "auto",
+        storage: str = "boxed",
     ) -> Any:
         db = company_control.database({"s": shares})
         return db.solve(
             method="seminaive",
             plan=plan,
             pushdown=pushdown,
+            storage=storage,
             tracer=tracer,
             budget=budget,
         )
@@ -125,12 +139,17 @@ def _party(size: int) -> Callable[..., Any]:
         tracer: Optional[Tracer] = None,
         budget: Optional[Budget] = None,
         pushdown: str = "auto",
+        storage: str = "boxed",
     ) -> Any:
         db = party_invitations.database(
             {"knows": knows, "requires": list(requires.items())}
         )
         return db.solve(
-            plan=plan, pushdown=pushdown, tracer=tracer, budget=budget
+            plan=plan,
+            pushdown=pushdown,
+            storage=storage,
+            tracer=tracer,
+            budget=budget,
         )
 
     return run
@@ -147,6 +166,7 @@ def _circuit(size: int) -> Callable[..., Any]:
         tracer: Optional[Tracer] = None,
         budget: Optional[Budget] = None,
         pushdown: str = "auto",
+        storage: str = "boxed",
     ) -> Any:
         db = circuit.database(
             {
@@ -156,7 +176,11 @@ def _circuit(size: int) -> Callable[..., Any]:
             }
         )
         return db.solve(
-            plan=plan, pushdown=pushdown, tracer=tracer, budget=budget
+            plan=plan,
+            pushdown=pushdown,
+            storage=storage,
+            tracer=tracer,
+            budget=budget,
         )
 
     return run
@@ -185,12 +209,14 @@ def _make_frontier_explosion(
             tracer: Optional[Tracer] = None,
             budget: Optional[Budget] = None,
             pushdown: str = "auto",
+            storage: str = "boxed",
         ) -> Any:
             db = shortest_path.database({"arc": arcs})
             return db.solve(
                 method="seminaive",
                 plan=plan,
                 pushdown=forced_pushdown or pushdown,
+                storage=storage,
                 tracer=tracer,
                 budget=budget,
             )
@@ -226,6 +252,7 @@ def _make_straggler(
             tracer: Optional[Tracer] = None,
             budget: Optional[Budget] = None,
             pushdown: str = "auto",
+            storage: str = "boxed",
         ) -> Any:
             db = shortest_path.database({"arc": arcs})
             return db.solve(
@@ -234,6 +261,7 @@ def _make_straggler(
                 shards=shards,
                 workers=workers,
                 pushdown=pushdown,
+                storage=storage,
                 tracer=tracer,
                 budget=budget,
             )
@@ -241,6 +269,142 @@ def _make_straggler(
         return run
 
     return setup
+
+
+def _dataset_path(kind: str, size: int, suffix: str) -> str:
+    """A deterministic scratch path for a generated dataset file.
+
+    Regenerated on every setup call (the generators are deterministic in
+    the seed, so the content is identical); left behind in the system
+    temp directory like any other scratch file.
+    """
+    import os
+    import tempfile
+
+    return os.path.join(
+        tempfile.gettempdir(), f"repro_bench_{kind}_{size}{suffix}"
+    )
+
+
+def _make_bulk_ingest(
+    forced_storage: Optional[str] = None,
+) -> Callable[[int], Callable[..., Any]]:
+    """Pure bulk ingest: a road-network edge CSV streamed into the EDB.
+
+    ``size`` is the junction count (~4 arcs each).  The program has no
+    rules, so the solve *is* the data plane: scan + stream + model
+    fingerprint, nothing ever materialises boxed row sets.  This is the
+    workload where the storage backends differ most — the boxed/columnar
+    pair records the bytes-per-atom gap (docs/STORAGE.md).
+    """
+    from repro.core.database import Database
+    from repro.workloads import write_road_network_csv
+
+    def setup(size: int) -> Callable[..., Any]:
+        path = _dataset_path("road", size, ".csv")
+        write_road_network_csv(path, size, seed=size)
+
+        def run(
+            plan: str,
+            tracer: Optional[Tracer] = None,
+            budget: Optional[Budget] = None,
+            pushdown: str = "auto",
+            storage: str = "boxed",
+        ) -> Any:
+            db = Database(name="bulk-ingest")
+            db.load("@cost arc/3 : reals_ge.")
+            db.load_csv("arc", path)
+            return db.solve(
+                plan=plan,
+                pushdown=pushdown,
+                storage=forced_storage or storage,
+                tracer=tracer,
+                budget=budget,
+            )
+
+        return run
+
+    return setup
+
+
+def _make_road_network(
+    forced_storage: Optional[str] = None,
+) -> Callable[[int], Callable[..., Any]]:
+    """k-source shortest paths over a CSV road network (docs/STORAGE.md).
+
+    ``size`` is the junction count.  The arc list enters through
+    ``Database.load_csv`` and four spread-out query sources seed the
+    paper's shortest-path idiom (``ROAD_NETWORK_PROGRAM``), so the
+    timed region covers the whole data plane: scan, stream, solve.
+    """
+    from repro.core.database import Database
+    from repro.workloads import ROAD_NETWORK_PROGRAM, write_road_network_csv
+
+    def setup(size: int) -> Callable[..., Any]:
+        import math
+
+        path = _dataset_path("road", size, ".csv")
+        write_road_network_csv(path, size, seed=size)
+        total = max(2, math.ceil(math.sqrt(size))) ** 2
+        sources = sorted({0, total // 3, (2 * total) // 3, total - 1})
+
+        def run(
+            plan: str,
+            tracer: Optional[Tracer] = None,
+            budget: Optional[Budget] = None,
+            pushdown: str = "auto",
+            storage: str = "boxed",
+        ) -> Any:
+            db = Database(name="road-network")
+            db.load(ROAD_NETWORK_PROGRAM)
+            db.load_csv("arc", path)
+            db.add_facts("source", [(s,) for s in sources])
+            return db.solve(
+                method="auto",
+                plan=plan,
+                pushdown=pushdown,
+                storage=forced_storage or storage,
+                tracer=tracer,
+                budget=budget,
+            )
+
+        return run
+
+    return setup
+
+
+def _company_control_dataset(size: int) -> Callable[..., Any]:
+    """Company control (Example 2.7) over a JSONL ownership dataset.
+
+    Same generator and sizes as ``company_control``, but the shares
+    arrive through ``Database.load_jsonl`` instead of ``add_facts`` —
+    the difference between the two workloads is the bulk data plane.
+    """
+    from repro.programs import company_control
+    from repro.workloads import write_ownership_jsonl
+
+    path = _dataset_path("ownership", size, ".jsonl")
+    write_ownership_jsonl(path, size, seed=size)
+
+    def run(
+        plan: str,
+        tracer: Optional[Tracer] = None,
+        budget: Optional[Budget] = None,
+        pushdown: str = "auto",
+        storage: str = "boxed",
+    ) -> Any:
+        db = company_control.database()
+        db.load_jsonl(path)
+        return db.solve(
+            method="seminaive",
+            plan=plan,
+            pushdown=pushdown,
+            storage=storage,
+            tracer=tracer,
+            budget=budget,
+        )
+
+    return run
 
 
 WORKLOADS: List[Workload] = [
@@ -277,6 +441,35 @@ WORKLOADS: List[Workload] = [
         _make_straggler("sharded"),
         meta={"plan": "sharded", "shards": 64, "workers": 2},
     ),
+    # The storage showcase (docs/STORAGE.md), measured from both sides:
+    # same generated CSV, boxed (suite default) vs pinned columnar.
+    # ``bulk_ingest`` is pure data plane (no rules, ~4*size arcs);
+    # ``road_network`` adds a k-source shortest-path solve on top.
+    Workload("bulk_ingest", "naive", 25_000, 400, _make_bulk_ingest()),
+    Workload(
+        "bulk_ingest_columnar",
+        "naive",
+        25_000,
+        400,
+        _make_bulk_ingest("columnar"),
+        meta={"storage": "columnar"},
+    ),
+    Workload("road_network", "auto", 1_600, 100, _make_road_network()),
+    Workload(
+        "road_network_columnar",
+        "auto",
+        1_600,
+        100,
+        _make_road_network("columnar"),
+        meta={"storage": "columnar"},
+    ),
+    Workload(
+        "company_control_dataset",
+        "seminaive",
+        160,
+        12,
+        _company_control_dataset,
+    ),
 ]
 
 
@@ -286,20 +479,25 @@ def run_workload(
     quick: bool = False,
     plan: str = "smart",
     pushdown: str = "auto",
+    storage: str = "boxed",
     repeat: int = 3,
     telemetry: bool = True,
+    memory: bool = True,
     timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Best-of-``repeat`` measurement of one workload.
 
     The timed repetitions run untraced; with ``telemetry`` one extra,
     untimed traced run supplies the ``index_stats`` counters and the
-    ``telemetry`` digest, so attribution never skews the timings.
+    ``telemetry`` digest, so attribution never skews the timings.  With
+    ``memory`` one more untimed repetition runs under ``tracemalloc``
+    (which slows allocation far too much to share a process with the
+    timed reps) and records ``mem_peak_bytes`` / ``bytes_per_atom``.
 
     With ``timeout`` every solve runs under a supervisor budget: an
     overrunning workload is recorded with its supervisor ``status``
     (``"timeout"`` etc.) instead of hanging the suite, and the
-    follow-up traced run is skipped for aborted workloads.
+    follow-up traced/memory runs are skipped for aborted workloads.
     """
     size = workload.quick_size if quick else workload.size
     budget = Budget(timeout=timeout) if timeout is not None else None
@@ -307,11 +505,12 @@ def run_workload(
     for _ in range(max(1, repeat)):
         solve = workload.setup(size)
         t0 = time.perf_counter()
-        result = solve(plan, None, budget, pushdown)
+        result = solve(plan, None, budget, pushdown, storage)
         wall = time.perf_counter() - t0
         record = {
             "size": size,
             "method": workload.method,
+            "storage": storage,
             "wall_s": round(wall, 4),
             "rounds": result.total_iterations,
             "atoms": result.model.total_size(),
@@ -333,12 +532,33 @@ def run_workload(
     assert best is not None
     if telemetry and best["status"] == "complete":
         tracer = Tracer()
-        traced = workload.setup(size)(plan, tracer, budget, pushdown)
+        traced = workload.setup(size)(plan, tracer, budget, pushdown, storage)
         best["index_stats"] = tracer.index_stats.snapshot()
         if traced.telemetry is not None:
             best["telemetry"] = traced.telemetry.to_report_dict()
     else:
         best["index_stats"] = {}
+    if memory and best["status"] == "complete":
+        import tracemalloc
+
+        solve = workload.setup(size)
+        tracemalloc.start()
+        try:
+            solve(plan, None, budget, pushdown, storage)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        best["mem_peak_bytes"] = peak
+        atoms = best["atoms"]
+        best["bytes_per_atom"] = round(peak / atoms, 1) if atoms else None
+        try:
+            import resource
+
+            best["ru_maxrss_kb"] = resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            pass
     return best
 
 
@@ -347,6 +567,7 @@ def run_suite(
     quick: bool = False,
     plan: str = "smart",
     pushdown: str = "auto",
+    storage: str = "boxed",
     repeat: int = 3,
     only: Optional[List[str]] = None,
     progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
@@ -367,6 +588,7 @@ def run_suite(
         "quick": quick,
         "plan": plan,
         "pushdown": pushdown,
+        "storage": storage,
         "timeout": timeout,
         "workloads": {},
     }
@@ -378,6 +600,7 @@ def run_suite(
             quick=quick,
             plan=plan,
             pushdown=pushdown,
+            storage=storage,
             repeat=repeat,
             timeout=timeout,
         )

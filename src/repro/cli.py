@@ -81,6 +81,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.database import Database
+from repro.data.loader import DataLoadError
 from repro.datalog.errors import (
     CostConsistencyError,
     ParseError,
@@ -192,6 +193,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 max_iterations=hard_cap,
                 plan=args.plan,
                 pushdown=args.pushdown,
+                storage=args.storage,
                 shards=args.shards,
                 workers=args.workers,
                 tracer=tracer,
@@ -260,6 +262,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
             plan=args.plan,
             pushdown=args.pushdown,
+            storage=args.storage,
             shards=args.shards,
             workers=args.workers,
             tracer=tracer,
@@ -540,6 +543,14 @@ def cmd_examples(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_repl(args: argparse.Namespace) -> int:
+    """Line-oriented shell over a Database; pipeable for smoke scripts."""
+    from repro.repl import run_repl
+
+    db = _load_database(args)
+    return run_repl(db, storage=args.storage, method=args.method)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_reports,
@@ -567,6 +578,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             plan=args.plan,
             pushdown=args.pushdown,
+            storage=args.storage,
             repeat=args.repeat,
             only=args.workload or None,
             progress=progress,
@@ -697,6 +709,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'off' evaluates the program as written — the model is "
         "identical either way",
     )
+    solve.add_argument(
+        "--storage",
+        choices=["boxed", "columnar"],
+        default="boxed",
+        help="relation backend (docs/STORAGE.md): 'columnar' stores "
+        "typed column arrays instead of boxed dict/set containers — "
+        "the model is bit-identical either way",
+    )
     solve.add_argument("--query", help="print only this predicate")
     solve.add_argument(
         "--explain",
@@ -742,6 +762,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--workers", type=int, default=None)
     profile.add_argument(
         "--pushdown", choices=["auto", "off"], default="auto"
+    )
+    profile.add_argument(
+        "--storage", choices=["boxed", "columnar"], default="boxed"
     )
     profile.add_argument(
         "--top",
@@ -881,6 +904,22 @@ def build_parser() -> argparse.ArgumentParser:
     examples = sub.add_parser("examples", help="list built-in paper programs")
     examples.set_defaults(handler=cmd_examples)
 
+    repl = sub.add_parser(
+        "repl",
+        help="line-oriented shell: load rules and CSV/JSONL facts, "
+        "solve, query — pipeable (repro repl < script)",
+    )
+    add_common(repl)
+    repl.add_argument(
+        "--method",
+        choices=["naive", "seminaive", "greedy", "auto"],
+        default="auto",
+    )
+    repl.add_argument(
+        "--storage", choices=["boxed", "columnar"], default="boxed"
+    )
+    repl.set_defaults(handler=cmd_repl)
+
     bench = sub.add_parser(
         "bench",
         help="run the tracked scaling workloads headlessly and write a "
@@ -896,6 +935,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--pushdown", choices=["auto", "off"], default="auto"
+    )
+    bench.add_argument(
+        "--storage",
+        choices=["boxed", "columnar"],
+        default="boxed",
+        help="relation backend for every workload (docs/STORAGE.md); "
+        "the *_columnar workloads pin columnar regardless, so a default "
+        "run already records a boxed/columnar pair per dataset workload",
     )
     bench.add_argument(
         "--repeat",
@@ -947,9 +994,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CliUsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    except (ParseError, ProgramError, CostConsistencyError) as exc:
-        # The *program* is at fault: parse errors, rejected analysis
-        # (safety/typing/admissibility), cost-consistency violations.
+    except (
+        ParseError,
+        ProgramError,
+        CostConsistencyError,
+        DataLoadError,
+    ) as exc:
+        # The *input* is at fault: parse errors, rejected analysis
+        # (safety/typing/admissibility), cost-consistency violations,
+        # MAD10xx-coded data-file rejections.
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_DIAGNOSTICS
     except ReproError as exc:

@@ -28,6 +28,7 @@ def solve_program(
     check: str = "strict",
     method: str = "naive",
     max_iterations: int = 100_000,
+    storage: str = "boxed",
     name: str = "program",
     tracer: Optional[Tracer] = None,
 ) -> SolveResult:
@@ -53,5 +54,6 @@ def solve_program(
         check=check,  # type: ignore[arg-type]
         method=method,  # type: ignore[arg-type]
         max_iterations=max_iterations,
+        storage=storage,
         tracer=tracer,
     )

@@ -28,7 +28,9 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.aggregates.base import AggregateFunction
 from repro.aggregates.standard import default_registry
+from repro.analysis.diagnostics import make_diagnostic
 from repro.analysis.report import AnalysisReport, analyze_program
+from repro.data import loader as _loader
 from repro.datalog.errors import ProgramError
 from repro.datalog.parser import parse_program
 from repro.datalog.program import PredicateDecl, Program
@@ -52,6 +54,10 @@ class Database:
         self._constraints: List[IntegrityConstraint] = []
         self._declarations: Dict[str, PredicateDecl] = {}
         self._facts: List[Tuple[str, Tuple[Any, ...]]] = []
+        #: bulk fact sources: ``(format, predicate, path, options)``.
+        #: Only the paths are retained; rows stream into every
+        #: :meth:`edb` materialization (see repro.data.loader).
+        self._bulk: List[Tuple[str, str, str, Dict[str, Any]]] = []
         self._lattices: Dict[str, Lattice] = dict(LATTICE_REGISTRY)
         self._aggregates: Dict[str, AggregateFunction] = default_registry()
         self._program_cache: Optional[Program] = None
@@ -165,6 +171,78 @@ class Database:
         for row in rows:
             self.add_fact(predicate, *row)
 
+    # -- bulk fact sources ----------------------------------------------------------
+
+    def _reject_intensional(self, predicate: str, path: str) -> None:
+        head_predicates = {r.head.predicate for r in self._rules}
+        if predicate in head_predicates:
+            diagnostic = make_diagnostic(
+                "intensional-load-target",
+                f"{predicate} is defined by rules; its facts must be fact "
+                f"rules, not bulk rows",
+            )
+            diagnostic.source = path
+            raise _loader.DataLoadError(diagnostic)
+
+    def load_csv(
+        self,
+        predicate: str,
+        path: str,
+        *,
+        delimiter: str = ",",
+        header: bool = False,
+    ) -> "_loader.LoadReport":
+        """Attach a CSV file of ``predicate`` facts (docs/STORAGE.md).
+
+        The file is validated now (shape only — MAD1002 on ragged rows)
+        and streamed into every :meth:`edb` materialization; only the
+        path is retained, never per-row tuples.  An undeclared predicate
+        is declared with the arity of the file's first row.  For cost
+        predicates the last column is the cost value.
+        """
+        self._reject_intensional(predicate, path)
+        decl = self._declarations.get(predicate)
+        count, arity, report = _loader.scan_csv(
+            path,
+            arity=decl.arity if decl is not None else None,
+            delimiter=delimiter,
+            header=header,
+            predicate=predicate,
+        )
+        if decl is None:
+            if arity is None:
+                raise ProgramError(
+                    f"cannot infer the arity of {predicate} from the "
+                    f"empty file {path!r}; declare it first"
+                )
+            self.declare(predicate, arity)
+        report.rows[predicate] = count
+        self._bulk.append(
+            ("csv", predicate, path, {"delimiter": delimiter, "header": header})
+        )
+        self.last_result = None
+        return report
+
+    def load_jsonl(self, path: str) -> "_loader.LoadReport":
+        """Attach a JSONL fact file (any mix of predicates per file).
+
+        Each line is ``{"predicate": ..., "row": [...]}``.  Validated
+        now (MAD1001/MAD1002/MAD1003), streamed into every :meth:`edb`
+        materialization; undeclared predicates are declared from their
+        first row.
+        """
+        arities = {
+            name: decl.arity for name, decl in self._declarations.items()
+        }
+        known, report = _loader.scan_jsonl(path, arities=arities)
+        for predicate in sorted(report.rows):
+            self._reject_intensional(predicate, path)
+            if predicate not in self._declarations:
+                self.declare(predicate, known[predicate])
+        self._bulk.append(("jsonl", "", path, {}))
+        self.last_result = None
+        return report
+
     # -- program assembly ----------------------------------------------------------
 
     @property
@@ -199,18 +277,30 @@ class Database:
                     )
         return self._program_cache
 
-    def edb(self) -> Interpretation:
+    def edb(self, *, storage: str = "boxed") -> Interpretation:
         """The extensional database as an interpretation.
 
         Facts of rule-defined predicates live in the program as fact rules
-        (see :attr:`program`) and are excluded here.
+        (see :attr:`program`) and are excluded here.  ``storage`` selects
+        the relation representation (``"boxed"`` | ``"columnar"``, see
+        docs/STORAGE.md).
         """
         program = self.program
         head_predicates = {r.head.predicate for r in self._rules}
-        interp = Interpretation(program.declarations)
+        interp = Interpretation(program.declarations, storage=storage)
         for predicate, args in self._facts:
             if predicate not in head_predicates:
                 interp.add_fact(predicate, *args)
+        for fmt, predicate, path, options in self._bulk:
+            if fmt == "csv":
+                # Rules loaded after load_csv may have claimed the
+                # predicate; re-check at materialization time.
+                self._reject_intensional(predicate, path)
+                _loader.load_csv(interp, predicate, path, **options)
+            else:
+                _loader.load_jsonl(
+                    interp, path, forbidden=frozenset(head_predicates)
+                )
         return interp
 
     # -- analysis & solving -----------------------------------------------------------
@@ -240,6 +330,7 @@ class Database:
         max_iterations: int = 100_000,
         plan: str = "smart",
         pushdown: str = "auto",
+        storage: str = "boxed",
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         tracer: Optional["Tracer"] = None,
@@ -260,16 +351,20 @@ class Database:
         identical either way.  ``plan="sharded"`` runs analyzer-certified
         components hash-partitioned across ``workers`` processes
         (``shards`` partitions) — see docs/PARALLELISM.md; the model is
-        bit-identical to the sequential plans.
+        bit-identical to the sequential plans.  ``storage="columnar"``
+        stores relations as typed column-major arrays instead of boxed
+        dict/set containers (docs/STORAGE.md); the model is bit-identical
+        to ``storage="boxed"``.
         """
         result = solve(
             self.program,
-            self.edb(),
+            self.edb(storage=storage),
             check=check,
             method=method,
             max_iterations=max_iterations,
             plan=plan,
             pushdown=pushdown,
+            storage=storage,
             shards=shards,
             workers=workers,
             tracer=tracer,

@@ -1,0 +1,25 @@
+"""Bulk data plane: stream CSV / JSONL facts in and out of an EDB."""
+
+from repro.data.loader import (
+    DataLoadError,
+    LoadReport,
+    decode_field,
+    export_csv,
+    export_jsonl,
+    load_csv,
+    load_jsonl,
+    scan_csv,
+    scan_jsonl,
+)
+
+__all__ = [
+    "DataLoadError",
+    "LoadReport",
+    "decode_field",
+    "export_csv",
+    "export_jsonl",
+    "load_csv",
+    "load_jsonl",
+    "scan_csv",
+    "scan_jsonl",
+]

@@ -31,6 +31,29 @@ from repro.testing import faults as _faults
 
 Key = Tuple[Any, ...]
 
+#: Storage modes: "boxed" = the dict/set representation below;
+#: "columnar" = typed column-major arrays behind the same Relation API
+#: (:mod:`repro.engine.columnar`), with boxed per-column fallback for
+#: values the typed columns cannot hold.  See docs/STORAGE.md.
+STORAGE_MODES = ("boxed", "columnar")
+
+
+def _check_storage_mode(storage: str) -> str:
+    if storage not in STORAGE_MODES:
+        raise ValueError(
+            f"unknown storage mode {storage!r}; expected one of {STORAGE_MODES}"
+        )
+    return storage
+
+
+def make_relation(decl: PredicateDecl, storage: str = "boxed") -> "Relation":
+    """An empty relation for ``decl`` under the given storage mode."""
+    if _check_storage_mode(storage) == "columnar":
+        from repro.engine.columnar import ColumnarRelation
+
+        return ColumnarRelation.empty(decl)
+    return Relation.empty(decl)
+
 
 @dataclass
 class IndexStats:
@@ -130,10 +153,33 @@ class Relation:
     def empty(cls, decl: PredicateDecl) -> "Relation":
         return cls(decl=decl, tuples=set(), costs={})
 
-    def copy(self) -> "Relation":
-        # Indexes are not copied: the copy starts cold and re-indexes on
-        # demand (copies are usually mutated immediately, e.g. by join).
-        return Relation(self.decl, set(self.tuples), dict(self.costs))
+    def copy(self, warm: bool = False) -> "Relation":
+        """A detached copy.
+
+        By default indexes are not copied: the copy starts cold and
+        re-indexes on demand (copies are usually mutated immediately,
+        e.g. by join).  ``warm=True`` additionally clones the live
+        indexes and row cache — the mutator methods keep maintaining
+        them incrementally, so snapshot points that previously
+        re-indexed from cold (``Interpretation.join``'s accumulation
+        across components) skip the rebuild.
+        """
+        out = Relation(self.decl, set(self.tuples), dict(self.costs))
+        if warm:
+            out._adopt_hot_state(self)
+        return out
+
+    def _adopt_hot_state(self, source: "Relation") -> None:
+        """Clone ``source``'s live indexes and row cache (the copies hold
+        the same logical rows, so the derived structures carry over)."""
+        self.generation = source.generation
+        self._indexes = {
+            positions: {key: list(bucket) for key, bucket in index.items()}
+            for positions, index in source._indexes.items()
+        }
+        if source._rows_cache is not None:
+            self._rows_cache = list(source._rows_cache)
+            self._rows_cache_gen = source._rows_cache_gen
 
     @property
     def is_cost(self) -> bool:
@@ -356,19 +402,52 @@ def delta_counts(
 
 
 class Interpretation:
-    """A (finite-core) aggregate Herbrand interpretation."""
+    """A (finite-core) aggregate Herbrand interpretation.
 
-    def __init__(self, declarations: Mapping[str, PredicateDecl]) -> None:
+    ``storage`` selects the per-relation representation: ``"boxed"``
+    (dict/set, the default) or ``"columnar"`` (typed column-major
+    arrays, :mod:`repro.engine.columnar`).  The two are bit-identical
+    behind the Relation API; see docs/STORAGE.md.
+    """
+
+    def __init__(
+        self,
+        declarations: Mapping[str, PredicateDecl],
+        *,
+        storage: str = "boxed",
+    ) -> None:
+        self.storage = _check_storage_mode(storage)
         self.declarations = dict(declarations)
         self.relations: Dict[str, Relation] = {
-            name: Relation.empty(decl) for name, decl in self.declarations.items()
+            name: make_relation(decl, storage)
+            for name, decl in self.declarations.items()
         }
 
     # -- construction ------------------------------------------------------------
 
-    def copy(self) -> "Interpretation":
-        out = Interpretation(self.declarations)
-        out.relations = {name: rel.copy() for name, rel in self.relations.items()}
+    def copy(self, warm: bool = False) -> "Interpretation":
+        out = Interpretation(self.declarations, storage=self.storage)
+        out.relations = {
+            name: rel.copy(warm=warm) for name, rel in self.relations.items()
+        }
+        return out
+
+    def with_storage(self, storage: str) -> "Interpretation":
+        """This interpretation's contents under ``storage``.
+
+        Returns a plain copy when the mode already matches; otherwise a
+        converted copy (``self`` is unchanged either way).
+        """
+        if _check_storage_mode(storage) == self.storage:
+            return self.copy()
+        out = Interpretation(self.declarations, storage=storage)
+        for name, rel in self.relations.items():
+            target = out.relation(name)
+            if rel.is_cost:
+                for key, value in rel.costs.items():
+                    target.set_cost(key, value, strict=False)
+            else:
+                target.merge_tuples(rel.tuples)
         return out
 
     def relation(self, predicate: str) -> Relation:
@@ -411,21 +490,25 @@ class Interpretation:
         return True
 
     def join(self, other: "Interpretation") -> "Interpretation":
-        """``self ⊔ other`` per Theorem 3.1's construction."""
-        out = self.copy()
+        """``self ⊔ other`` per Theorem 3.1's construction.
+
+        Routed through the relation mutators: ``set_cost(strict=False)``
+        *is* the pointwise lattice lub, and the copy carries warm
+        indexes — the mutators maintain them incrementally, so a state
+        accumulated by repeated joins (the solver's per-component loop)
+        no longer re-indexes from cold.
+        """
+        out = self.copy(warm=True)
         for name, rel in other.relations.items():
             target = out.relation(name)
             if rel.is_cost:
-                lattice = rel.decl.lattice
-                assert lattice is not None
                 for key, value in rel.costs.items():
-                    mine = target.costs.get(key)
-                    if mine is None:
-                        target.costs[key] = value
-                    else:
-                        target.costs[key] = lattice.join(mine, value)
+                    target.set_cost(key, value, strict=False)
+            elif target._indexes:
+                for key in rel.tuples:
+                    target.add_tuple(key)
             else:
-                target.tuples |= rel.tuples
+                target.merge_tuples(rel.tuples)
         return out
 
     def meet(self, other: "Interpretation") -> "Interpretation":
@@ -436,7 +519,7 @@ class Interpretation:
         predicates an absent key reads as bottom, so the meet of a core
         entry with an absent one is bottom and leaves the core.
         """
-        out = Interpretation(self.declarations)
+        out = Interpretation(self.declarations, storage=self.storage)
         for name, rel in self.relations.items():
             other_rel = other.relation(name)
             target = out.relation(name)
@@ -449,15 +532,17 @@ class Interpretation:
                         assert other_value is not None
                         met = lattice.meet(value, other_value)
                         if met != lattice.bottom:
-                            target.costs[key] = met
+                            target.set_cost(key, met, strict=False)
                 else:
                     for key, value in rel.costs.items():
                         if key in other_rel.costs:
-                            target.costs[key] = lattice.meet(
-                                value, other_rel.costs[key]
+                            target.set_cost(
+                                key,
+                                lattice.meet(value, other_rel.costs[key]),
+                                strict=False,
                             )
             else:
-                target.tuples = rel.tuples & other_rel.tuples
+                target.merge_tuples(rel.tuples & other_rel.tuples)
         return out
 
     # -- comparisons & reporting -----------------------------------------------------

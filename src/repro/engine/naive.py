@@ -53,6 +53,7 @@ def kleene_fixpoint(
     strict: bool = True,
     on_step: Optional[Callable[[int, Interpretation], None]] = None,
     plan: str = "smart",
+    storage: str = "boxed",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
     supervisor: Supervisor = NULL_SUPERVISOR,
@@ -79,7 +80,11 @@ def kleene_fixpoint(
     boundaries, so resumed chains replay the uninterrupted ones).
     """
     resumed = initial is not None
-    j = initial.copy() if resumed else Interpretation(program.declarations)
+    j = (
+        initial.copy()
+        if resumed
+        else Interpretation(program.declarations, storage=storage)
+    )
     ascending = True
     trajectory: List[int] = []
     seen: Dict[int, int] = {j.fingerprint(): 0}
@@ -94,6 +99,7 @@ def kleene_fixpoint(
                 i,
                 strict=strict,
                 plan=plan,
+                storage=storage,
                 tracer=tracer,
                 supervisor=supervisor,
                 scc=scc,

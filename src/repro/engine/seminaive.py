@@ -212,6 +212,7 @@ def seminaive_fixpoint(
     max_iterations: int = 100_000,
     strict: bool = True,
     plan: str = "smart",
+    storage: str = "boxed",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
     supervisor: Supervisor = NULL_SUPERVISOR,
@@ -240,7 +241,11 @@ def seminaive_fixpoint(
     """
     rules = [r for r in program.rules if r.head.predicate in cdb]
     resumed = initial is not None
-    start = initial.copy() if resumed else Interpretation(program.declarations)
+    start = (
+        initial.copy()
+        if resumed
+        else Interpretation(program.declarations, storage=storage)
+    )
     track = tracer.enabled
     supervise = supervisor.active
 
@@ -261,6 +266,7 @@ def seminaive_fixpoint(
             i,
             strict=strict and not resumed,
             plan=plan,
+            storage=storage,
             tracer=tracer,
             supervisor=supervisor,
             scc=scc,

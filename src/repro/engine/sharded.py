@@ -55,6 +55,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.sharding import ShardKey
 from repro.datalog.program import Program
+from repro.engine.colpack import PackedBatch, pack_rows, unpack_rows
 from repro.engine.interpretation import Interpretation
 from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
@@ -63,7 +64,9 @@ from repro.engine.tp import apply_tp
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: predicate → rows; cost rows are ``key + (cost,)``, ordinary rows are
-#: the tuple itself.  The only shape that crosses process boundaries.
+#: the tuple itself.  Batches are column-packed
+#: (:mod:`repro.engine.colpack`) before crossing process boundaries, so
+#: the pickled payload is typed buffers, not per-value boxed objects.
 RowBatch = Dict[str, List[Tuple[Any, ...]]]
 
 
@@ -89,6 +92,7 @@ class _ForkContext:
     method: str  # "seminaive" | "kleene"
     max_iterations: int
     plan: str
+    storage: str
 
 
 #: Module-level slot read by forked workers.  Only ever set around the
@@ -124,16 +128,17 @@ def _merge_rows(target: Interpretation, rows: RowBatch) -> None:
                 rel.add_tuple(row)
 
 
-def _run_shard(payload: Tuple[int, RowBatch]) -> Tuple[RowBatch, int, str]:
+def _run_shard(payload: Tuple[int, PackedBatch]) -> Tuple[PackedBatch, int, str]:
     """Worker: one shard's fixpoint over its seed partition.
 
     Runs in a forked child; reads the parent's :data:`_FORK` snapshot.
-    Returns ``(derived rows, iterations, status)``.
+    Seed and result batches cross the process boundary column-packed.
+    Returns ``(packed derived rows, iterations, status)``.
     """
-    _, rows = payload
+    _, packed = payload
     ctx = _FORK["ctx"]
-    initial = Interpretation(ctx.program.declarations)
-    _merge_rows(initial, rows)
+    initial = Interpretation(ctx.program.declarations, storage=ctx.storage)
+    _merge_rows(initial, unpack_rows(packed))
     if ctx.method == "kleene":
         fixpoint = kleene_fixpoint(
             ctx.program,
@@ -142,6 +147,7 @@ def _run_shard(payload: Tuple[int, RowBatch]) -> Tuple[RowBatch, int, str]:
             max_iterations=ctx.max_iterations,
             strict=False,
             plan=ctx.plan,
+            storage=ctx.storage,
             tracer=NULL_TRACER,
             supervisor=NULL_SUPERVISOR,
             initial=initial,
@@ -154,12 +160,13 @@ def _run_shard(payload: Tuple[int, RowBatch]) -> Tuple[RowBatch, int, str]:
             max_iterations=ctx.max_iterations,
             strict=False,
             plan=ctx.plan,
+            storage=ctx.storage,
             tracer=NULL_TRACER,
             supervisor=NULL_SUPERVISOR,
             initial=initial,
         )
     return (
-        _interpretation_rows(fixpoint.interpretation, ctx.cdb),
+        pack_rows(_interpretation_rows(fixpoint.interpretation, ctx.cdb)),
         fixpoint.iterations,
         fixpoint.status,
     )
@@ -197,6 +204,7 @@ def sharded_fixpoint(
     max_iterations: int = 100_000,
     strict: bool = True,
     plan: str = "smart",
+    storage: str = "boxed",
     tracer: Tracer = NULL_TRACER,
     scc: int = 0,
     supervisor: Supervisor = NULL_SUPERVISOR,
@@ -239,7 +247,7 @@ def sharded_fixpoint(
             bucket = partitions.setdefault(shard_of(row[pos], shards), {})
             bucket.setdefault(name, []).append(row)
 
-    merged = Interpretation(program.declarations)
+    merged = Interpretation(program.declarations, storage=storage)
     _merge_rows(merged, _interpretation_rows(seeds, cdb))
 
     statuses: List[str] = []
@@ -253,18 +261,22 @@ def sharded_fixpoint(
             method="kleene" if method in ("naive", "kleene") else "seminaive",
             max_iterations=max_iterations,
             plan=plan,
+            storage=storage,
         )
         try:
             mp = multiprocessing.get_context("fork")
-            payloads = sorted(partitions.items())
+            payloads = [
+                (shard, pack_rows(rows))
+                for shard, rows in sorted(partitions.items())
+            ]
             pool_size = max(1, min(workers, len(payloads)))
             chunksize = max(1, len(payloads) // (pool_size * 4))
             with mp.Pool(pool_size) as pool:
                 results = pool.map(_run_shard, payloads, chunksize=chunksize)
         finally:
             _FORK.pop("ctx", None)
-        for rows, shard_iterations, status in results:
-            _merge_rows(merged, rows)
+        for packed, shard_iterations, status in results:
+            _merge_rows(merged, unpack_rows(packed))
             statuses.append(status)
             iterations = max(iterations, shard_iterations + 1)
         if tracer.enabled:

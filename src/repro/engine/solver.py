@@ -47,7 +47,8 @@ from repro.engine.exec import _check_pushdown_mode, get_pushdown
 from repro.engine.interpretation import (
     IndexStats,
     Interpretation,
-    Relation,
+    _check_storage_mode,
+    make_relation,
     use_index_stats,
 )
 from repro.engine.greedy import greedy_applicable, greedy_fixpoint
@@ -146,6 +147,7 @@ def solve(
     max_iterations: int = 100_000,
     plan: str = "smart",
     pushdown: str = "auto",
+    storage: str = "boxed",
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     tracer: Optional[Tracer] = None,
@@ -179,6 +181,13 @@ def solve(
     ``"off"`` evaluates the program exactly as written.  The static
     checks (``check``) always run against the *original* program.
 
+    ``storage`` selects the relation representation
+    (:mod:`repro.engine.interpretation`): ``"boxed"`` (dict/set,
+    default) or ``"columnar"`` (typed column-major arrays,
+    docs/STORAGE.md).  The model is bit-identical either way; a boxed
+    ``edb`` passed to a columnar solve (or vice versa) is converted on
+    entry.
+
     ``tracer`` opts the solve into the telemetry layer
     (:mod:`repro.obs`); the resulting digest lands on
     :attr:`SolveResult.telemetry`.
@@ -204,6 +213,7 @@ def solve(
             max_iterations=max_iterations,
             plan=plan,
             pushdown=pushdown,
+            storage=storage,
             shards=shards,
             workers=workers,
             tracer=t,
@@ -218,7 +228,7 @@ def _component_initial(
 ) -> Interpretation:
     """The restriction of ``state`` to the component's CDB predicates —
     the evaluator's resume seed (the rest of ``state`` is its ``I``)."""
-    initial = Interpretation(program.declarations)
+    initial = Interpretation(program.declarations, storage=state.storage)
     for predicate in component.cdb:
         src = state.relations.get(predicate)
         if src is None or not len(src):
@@ -242,6 +252,7 @@ def _solve_traced(
     max_iterations: int,
     plan: str,
     pushdown: str = "auto",
+    storage: str = "boxed",
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     tracer: Tracer,
@@ -361,7 +372,12 @@ def _solve_traced(
                 eval_program, classification=eval_classification
             )
 
-    state = edb.copy() if edb is not None else Interpretation(program.declarations)
+    storage = _check_storage_mode(storage)
+    state = (
+        edb.with_storage(storage)
+        if edb is not None
+        else Interpretation(program.declarations, storage=storage)
+    )
     if resume is not None:
         # The checkpoint state already contains the EDB it was solved
         # over; joining (rather than replacing) keeps any facts the
@@ -373,7 +389,7 @@ def _solve_traced(
     for name in aux_predicates:
         decl = eval_program.declarations[name]
         state.declarations[name] = decl
-        state.relations[name] = Relation.empty(decl)
+        state.relations[name] = make_relation(decl, storage)
     result = SolveResult(model=state, analysis=analysis, program=program)
     for index, component in enumerate(condense(eval_program)):
         chosen = (
@@ -459,6 +475,7 @@ def _solve_traced(
                     max_iterations=max_iterations,
                     strict=strict_costs,
                     plan=exec_plan,
+                    storage=storage,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,
@@ -472,6 +489,7 @@ def _solve_traced(
                     max_iterations=max_iterations,
                     strict=strict_costs,
                     plan=exec_plan,
+                    storage=storage,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,
@@ -484,6 +502,7 @@ def _solve_traced(
                     state,
                     assume_invariant=True,
                     plan=exec_plan,
+                    storage=storage,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,
@@ -497,6 +516,7 @@ def _solve_traced(
                     max_iterations=max_iterations,
                     strict=strict_costs,
                     plan=exec_plan,
+                    storage=storage,
                     tracer=tracer,
                     scc=index,
                     supervisor=supervisor,

@@ -1,6 +1,12 @@
 """Deterministic synthetic workloads + engine-independent oracles."""
 
 from repro.workloads.circuits import CircuitInstance, circuit_oracle, random_circuit
+from repro.workloads.datasets import (
+    ROAD_NETWORK_PROGRAM,
+    road_network,
+    write_ownership_jsonl,
+    write_road_network_csv,
+)
 from repro.workloads.graphs import (
     bellman_ford_all_pairs,
     cycle_graph,
@@ -15,6 +21,10 @@ from repro.workloads.ownership import company_control_oracle, random_ownership
 from repro.workloads.social import party_oracle, random_party
 
 __all__ = [
+    "ROAD_NETWORK_PROGRAM",
+    "road_network",
+    "write_road_network_csv",
+    "write_ownership_jsonl",
     "random_digraph",
     "random_dag",
     "layered_digraph",

@@ -1,0 +1,109 @@
+"""The packed-column wire format is lossless (sharded transport).
+
+``unpack_rows(pack_rows(batch))`` must reproduce every batch
+bit-identically — values, types, row order — because the shard barrier
+merge feeds the result straight into ``set_cost``/``merge_tuples`` and
+any coercion would leak into the model.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.colpack import pack_rows, unpack_rows
+
+
+def roundtrip(batch):
+    packed = pack_rows(batch)
+    # The whole point is crossing a process boundary: pickle it too.
+    return unpack_rows(pickle.loads(pickle.dumps(packed)))
+
+
+def assert_bit_identical(batch):
+    out = roundtrip(batch)
+    assert set(out) == set(batch)
+    for name, rows in batch.items():
+        got = out[name]
+        assert list(map(repr, got)) == list(map(repr, rows)), name
+        for row, back in zip(rows, got):
+            for a, b in zip(row, back):
+                assert type(a) is type(b)
+
+
+def test_int_column_packs_as_q():
+    packed = pack_rows({"t": [(1, 2), (3, 4)]})
+    count, columns = packed["t"]
+    assert count == 2 and [kind for kind, _ in columns] == ["q", "q"]
+    assert_bit_identical({"t": [(1, 2), (3, 4)]})
+
+
+def test_float_column_packs_as_d_nan_included():
+    batch = {"t": [(1.5,), (float("nan"),), (float("inf"),), (-0.0,)]}
+    packed = pack_rows(batch)
+    assert packed["t"][1][0][0] == "d"
+    out = roundtrip(batch)["t"]
+    assert out[0] == (1.5,) and math.isnan(out[1][0])
+    assert out[2] == (float("inf"),)
+    assert math.copysign(1.0, out[3][0]) == -1.0  # -0.0 survives
+
+
+def test_string_column_interns_uniques():
+    batch = {"t": [("a", "x"), ("b", "x"), ("a", "x")]}
+    packed = pack_rows(batch)
+    (kind, payload) = packed["t"][1][1]  # second column
+    assert kind == "s"
+    strings, _ = payload
+    assert strings == ["x"]
+    assert_bit_identical(batch)
+
+
+def test_unicode_strings_roundtrip():
+    assert_bit_identical({"t": [("naïve", "✓"), ("строка", "日本語")]})
+
+
+def test_bool_and_mixed_columns_fall_back_to_boxed():
+    batch = {"t": [(True,), (False,)]}
+    packed = pack_rows(batch)
+    assert packed["t"][1][0][0] == "o"
+    assert_bit_identical(batch)
+    mixed = {"t": [(1,), ("a",), (2.5,), (None,)]}
+    assert pack_rows(mixed)["t"][1][0][0] == "o"
+    assert_bit_identical(mixed)
+
+
+def test_huge_ints_fall_back_to_boxed():
+    batch = {"t": [(1 << 80,), (5,)]}
+    packed = pack_rows(batch)
+    assert packed["t"][1][0][0] == "o"
+    assert_bit_identical(batch)
+
+
+def test_empty_batches_and_zero_arity():
+    assert roundtrip({}) == {}
+    assert roundtrip({"t": []}) == {"t": []}
+    assert roundtrip({"n": [(), ()]}) == {"n": [(), ()]}
+
+
+def test_row_order_preserved():
+    rows = [(i,) for i in (5, 1, 4, 2, 3)]
+    assert roundtrip({"t": rows})["t"] == rows
+
+
+scalar = st.one_of(
+    st.integers(min_value=-(1 << 70), max_value=1 << 70),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+)
+
+
+@given(
+    st.lists(st.tuples(scalar, scalar, scalar), max_size=30),
+)
+def test_roundtrip_fuzz(rows):
+    assert_bit_identical({"t": rows})

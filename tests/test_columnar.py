@@ -1,0 +1,309 @@
+"""The columnar relation backend: typing, demotion, COW, rollback.
+
+:class:`ColumnarRelation` must be observationally identical to the
+boxed :class:`Relation` (tests/test_storage_equivalence.py does the
+differential sweep); this file pins the *mechanisms* behind that:
+column kind commitment and demotion (docs/STORAGE.md's typing rules),
+copy-on-write copies, apply-or-rollback exception safety, the live
+``tuples``/``costs`` views, and the generation-counted caches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.database import Database
+from repro.datalog.errors import CostConsistencyError
+from repro.engine.columnar import ColumnarRelation, columnar_stats
+from repro.engine.interpretation import (
+    STORAGE_MODES,
+    Interpretation,
+    make_relation,
+)
+
+
+def decls(text):
+    db = Database()
+    db.load(text)
+    return db.program.declarations
+
+
+def ordinary(arity=2):
+    decl = decls(f"@pred t/{arity}.")["t"]
+    return ColumnarRelation(decl)
+
+
+def costrel():
+    decl = decls("@cost w/3 : reals_ge.")["w"]
+    return ColumnarRelation(decl)
+
+
+# ---------------------------------------------------------------------------
+# construction / storage modes
+# ---------------------------------------------------------------------------
+
+
+def test_make_relation_dispatches_on_storage():
+    decl = decls("@pred t/2.")["t"]
+    assert type(make_relation(decl, "boxed")).__name__ == "Relation"
+    assert isinstance(make_relation(decl, "columnar"), ColumnarRelation)
+    with pytest.raises(ValueError, match="storage"):
+        make_relation(decl, "parquet")
+    assert STORAGE_MODES == ("boxed", "columnar")
+
+
+def test_interpretation_with_storage_converts_both_ways():
+    db = Database()
+    db.load("@pred t/2.\n@cost w/2 : reals_ge.")
+    db.add_facts("t", [("a", "b")])
+    db.add_facts("w", [("a", 1.5)])
+    boxed = db.edb()
+    columnar = boxed.with_storage("columnar")
+    assert isinstance(columnar.relation("t"), ColumnarRelation)
+    back = columnar.with_storage("boxed")
+    assert not isinstance(back.relation("t"), ColumnarRelation)
+    for interp in (columnar, back):
+        assert sorted(interp.relation("t").rows()) == [("a", "b")]
+        assert interp.relation("w").cost_of(("a",)) == 1.5
+
+
+# ---------------------------------------------------------------------------
+# column typing and demotion
+# ---------------------------------------------------------------------------
+
+
+def test_kind_commitment():
+    rel = ordinary(4)
+    rel.add_tuple((1, 2.5, "x", (1, 2)))
+    assert rel.column_kinds() == ("q", "d", "s", "o")
+
+
+def test_cost_column_kind_reported_last():
+    rel = costrel()
+    rel.set_cost((1, 2), 3.5, strict=False)
+    assert rel.column_kinds() == ("q", "q", "d")
+
+
+def test_bool_is_not_int():
+    # True == 1 but the model must keep them distinct values; bool
+    # commits/demotes to the boxed kind.
+    rel = ordinary(1)
+    rel.add_tuple((True,))
+    assert rel.column_kinds() == ("o",)
+    rel2 = ordinary(1)
+    rel2.add_tuple((1,))
+    rel2.add_tuple((True,))  # 1 == True: dup, not inserted
+    assert len(rel2) == 1 and rel2.column_kinds() == ("q",)
+    rel2.add_tuple((2,))
+    assert list(rel2.rows()) == [(1,), (2,)]
+
+
+def test_int_overflow_demotes():
+    rel = ordinary(1)
+    rel.add_tuple((1,))
+    rel.add_tuple((1 << 70,))
+    assert rel.column_kinds() == ("o",)
+    assert sorted(rel.rows()) == [(1,), (1 << 70,)]
+
+
+def test_nan_demotes_float_column():
+    rel = ordinary(1)
+    rel.add_tuple((1.5,))
+    rel.add_tuple((float("nan"),))
+    assert rel.column_kinds() == ("o",)
+    rows = list(rel.rows())
+    assert rows[0] == (1.5,) and math.isnan(rows[1][0])
+
+
+def test_mixed_types_demote_and_stay_bit_identical():
+    rel = ordinary(1)
+    for value in ("a", "b", 3, 2.5, None):
+        rel.add_tuple((value,))
+    assert rel.column_kinds() == ("o",)
+    assert list(rel.rows()) == [("a",), ("b",), (3,), (2.5,), (None,)]
+
+
+def test_string_interning_is_shared_across_copies():
+    rel = ordinary(1)
+    rel.add_tuple(("x",))
+    cp = rel.copy()
+    cp.add_tuple(("y",))
+    rel.add_tuple(("z",))
+    assert sorted(rel.rows()) == [("x",), ("z",)]
+    assert sorted(cp.rows()) == [("x",), ("y",)]
+
+
+def test_rollback_of_failed_first_append_resets_column():
+    class Boom:
+        def __eq__(self, other):
+            raise RuntimeError("boom")
+
+        def __hash__(self):
+            return 7
+
+    rel = ordinary(1)
+    # _find hits nothing (empty table) so append begins; the column
+    # commits to 'o' for Boom and the append succeeds fine — instead
+    # break via an unhashable key, which fails before any append.
+    with pytest.raises(TypeError):
+        rel.add_tuple(([1],))
+    assert len(rel) == 0 and rel.column_kinds() == ("",)
+
+
+# ---------------------------------------------------------------------------
+# membership, cross-type equality, views
+# ---------------------------------------------------------------------------
+
+
+def test_numeric_cross_type_membership_matches_set_semantics():
+    rel = ordinary(1)
+    rel.add_tuple((1,))
+    # A Python set treats 1, 1.0 and True as the same element.
+    assert not rel.add_tuple((1.0,))
+    assert not rel.add_tuple((True,))
+    assert len(rel) == 1
+    assert (1.0,) in rel.tuples and (True,) in rel.tuples
+
+
+def test_tuple_view_set_algebra():
+    rel = ordinary(2)
+    rel.add_tuple(("a", "b"))
+    rel.add_tuple(("c", "d"))
+    view = rel.tuples
+    assert ("a", "b") in view and ("z", "z") not in view
+    assert "ab" not in view  # non-tuple probe
+    assert view - {("a", "b")} == {("c", "d")}
+    assert view & {("a", "b"), ("x", "y")} == {("a", "b")}
+    assert set(view) == {("a", "b"), ("c", "d")}
+    assert len(view) == 2
+
+
+def test_cost_view_mapping_semantics():
+    rel = costrel()
+    rel.set_cost((1, 2), 3.5, strict=False)
+    rel.set_cost((4, 5), 6.0, strict=False)
+    view = rel.costs
+    assert view[(1, 2)] == 3.5
+    assert view.get((9, 9), "missing") == "missing"
+    assert (4, 5) in view and (9, 9) not in view
+    assert dict(view.items()) == {(1, 2): 3.5, (4, 5): 6.0}
+    assert sorted(view.values()) == [3.5, 6.0]
+    assert view == {(1, 2): 3.5, (4, 5): 6.0}
+    with pytest.raises(KeyError):
+        view[(9, 9)]
+
+
+def test_set_cost_strict_conflict_raises_and_leaves_state():
+    rel = costrel()
+    rel.set_cost((1, 2), 3.0)
+    with pytest.raises(CostConsistencyError):
+        rel.set_cost((1, 2), 4.0)
+    assert rel.cost_of((1, 2)) == 3.0
+
+
+def test_set_cost_lenient_is_lattice_join():
+    rel = costrel()
+    rel.set_cost((1, 2), 3.0, strict=False)
+    assert not rel.set_cost((1, 2), 5.0, strict=False)  # 3 ≤r 5: no-op
+    assert rel.set_cost((1, 2), 1.0, strict=False)  # improves
+    assert rel.cost_of((1, 2)) == 1.0
+
+
+def test_default_cost_not_stored():
+    decl = decls("@default w/2 : reals_ge.")["w"]
+    rel = ColumnarRelation(decl)
+    lattice = decl.lattice
+    assert not rel.set_cost((1,), lattice.bottom, strict=False)
+    assert len(rel) == 0
+    assert rel.cost_of((1,)) == lattice.bottom  # the implicit default
+
+
+def test_merge_tuples_bulk_insert_dedups():
+    rel = ordinary(2)
+    rel.add_tuple(("a", "b"))
+    rel.merge_tuples([("a", "b"), ("c", "d"), ("c", "d")])
+    assert len(rel) == 2
+
+
+# ---------------------------------------------------------------------------
+# copy-on-write
+# ---------------------------------------------------------------------------
+
+
+def test_copy_is_independent_under_mutation_of_original():
+    rel = ordinary(2)
+    rel.add_tuple(("a", "b"))
+    cp = rel.copy()
+    rel.add_tuple(("c", "d"))
+    assert sorted(cp.rows()) == [("a", "b")]
+    assert sorted(rel.rows()) == [("a", "b"), ("c", "d")]
+
+
+def test_copy_is_independent_under_mutation_of_copy():
+    rel = costrel()
+    rel.set_cost((1, 2), 3.0, strict=False)
+    cp = rel.copy()
+    cp.set_cost((1, 2), 1.0, strict=False)
+    assert rel.cost_of((1, 2)) == 3.0
+    assert cp.cost_of((1, 2)) == 1.0
+
+
+def test_chained_copies_stay_isolated():
+    rel = ordinary(1)
+    rel.add_tuple((1,))
+    a = rel.copy()
+    b = a.copy()
+    b.add_tuple((2,))
+    a.add_tuple((3,))
+    rel.add_tuple((4,))
+    assert sorted(rel.rows()) == [(1,), (4,)]
+    assert sorted(a.rows()) == [(1,), (3,)]
+    assert sorted(b.rows()) == [(1,), (2,)]
+
+
+def test_warm_copy_carries_indexes():
+    rel = ordinary(2)
+    for i in range(8):
+        rel.add_tuple((i % 2, i))
+    rel.index_for((0,))  # build one index
+    warm = rel.copy(warm=True)
+    assert warm.generation == rel.generation
+    assert warm._indexes.keys() == rel._indexes.keys()
+    cold = rel.copy()
+    assert not cold._indexes
+
+
+def test_grow_preserves_membership():
+    rel = ordinary(1)
+    for i in range(1000):
+        rel.add_tuple((i,))
+    assert len(rel) == 1000
+    for i in range(1000):
+        assert (i,) in rel.tuples
+    assert (1000,) not in rel.tuples
+
+
+def test_columnar_stats_reports_kinds():
+    db = Database()
+    db.load("@pred t/2.")
+    db.add_facts("t", [("a", 1)])
+    interp = db.edb().with_storage("columnar")
+    stats = columnar_stats(interp)
+    assert stats["t"] == (1, ("s", "q"))
+
+
+# ---------------------------------------------------------------------------
+# rows cache / generations (the Relation contract)
+# ---------------------------------------------------------------------------
+
+
+def test_rows_list_cache_invalidation():
+    rel = ordinary(1)
+    rel.add_tuple((1,))
+    first = rel.rows_list()
+    assert first == [(1,)]
+    assert rel.rows_list() is first  # cached at same generation
+    rel.add_tuple((2,))
+    assert sorted(rel.rows_list()) == [(1,), (2,)]

@@ -64,6 +64,8 @@ ENGINE_HOT_MODULES = [
     "engine/solver.py",
     "engine/grounding.py",
     "engine/supervisor.py",
+    "engine/columnar.py",
+    "engine/colpack.py",
 ]
 
 TIME_TIME = re.compile(r"\btime\.time\(\)")

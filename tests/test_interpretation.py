@@ -201,6 +201,38 @@ class TestMisc:
         b.add_fact("s", "x", "y", 1)
         assert ("x", "y") not in a["s"]
 
+    def test_copy_starts_cold(self):
+        a = interp(edge=[("a", "b"), ("a", "c")])
+        rel = a.relation("edge")
+        rel.index_for((0,))
+        cold = rel.copy()
+        assert not cold._indexes
+        assert sorted(cold.index_for((0,))[("a",)]) == [("a", "b"), ("a", "c")]
+
+    def test_warm_copy_carries_indexes(self):
+        a = interp(edge=[("a", "b"), ("a", "c")], s=[("a", "b", 3)])
+        rel = a.relation("edge")
+        rel.index_for((0,))
+        rel.rows_list()
+        warm = rel.copy(warm=True)
+        assert set(warm._indexes) == {(0,)}
+        assert warm.generation == rel.generation
+        assert warm.rows_list() == rel.rows_list()
+        # The carried index is live, not a frozen snapshot: mutators
+        # keep maintaining it, and it stays detached from the original.
+        warm.add_tuple(("a", "d"))
+        assert ("a", "d") in warm.index_for((0,))[("a",)]
+        assert ("a", "d") not in rel.index_for((0,))[("a",)]
+
+    def test_interpretation_warm_copy(self):
+        a = interp(edge=[("a", "b")], s=[("a", "b", 3)])
+        a.relation("s").index_for((0, 1))
+        warm = a.copy(warm=True)
+        assert set(warm.relation("s")._indexes) == {(0, 1)}
+        assert not a.copy().relation("s")._indexes
+        warm.add_fact("edge", "x", "y")
+        assert ("x", "y") not in a["edge"]
+
     def test_fingerprint_changes_with_content(self):
         a = interp(s=[("a", "b", 3)])
         b = interp(s=[("a", "b", 4)])

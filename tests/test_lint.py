@@ -89,7 +89,10 @@ def test_corpus_covers_every_code():
 
     MAD7xx are runtime divergence findings raised by the engine
     supervisor, not by any static pass — no lint corpus file can trigger
-    them (tests/test_supervisor.py covers them instead).
+    them (tests/test_supervisor.py covers them instead).  Likewise the
+    MAD10xx loader diagnostics fire on data files, not rule text
+    (tests/test_loader.py covers them); note "MAD100" matches the
+    four-digit MAD1001.. family only, not safety's MAD101.
     """
     covered = set()
     for path in CORPUS:
@@ -98,7 +101,7 @@ def test_corpus_covers_every_code():
         entry.code
         for entry in BY_CODE.values()
         if entry.severity > Severity.INFO
-        and not entry.code.startswith("MAD7")
+        and not entry.code.startswith(("MAD7", "MAD100"))
     } - covered
     assert not uncovered, f"codes without a corpus trigger: {uncovered}"
 
