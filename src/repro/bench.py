@@ -50,10 +50,20 @@ from repro.obs import Tracer
 #: and ``road_network`` / ``road_network_columnar`` storage pairs (CSV
 #: road networks streamed via ``Database.load_csv``) and
 #: ``company_control_dataset`` (ownership shares via ``load_jsonl``).
-FORMAT_VERSION = 6
+#: v7: the per-workload ``telemetry`` digest carries the solve's merged
+#: metrics snapshot and shard-worker relays (obs schema v5, see
+#: docs/OBSERVABILITY.md); ``--compare`` additionally gates
+#: ``mem_peak_bytes`` / ``bytes_per_atom`` against ``--mem-tolerance``;
+#: the committed report trajectory is aggregated by ``repro trend``.
+FORMAT_VERSION = 7
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
+
+#: Default memory-regression threshold: allocation measurements are far
+#: more stable than wall time (tracemalloc counts bytes, not cycles),
+#: so the gate can be tighter than the timing one.
+DEFAULT_MEM_TOLERANCE = 2.0
 
 
 @dataclass(frozen=True)
@@ -615,13 +625,17 @@ def compare_reports(
     current: Dict[str, Any],
     *,
     tolerance: float = DEFAULT_TOLERANCE,
+    mem_tolerance: float = DEFAULT_MEM_TOLERANCE,
 ) -> List[str]:
     """Regressions of ``current`` against ``baseline`` (empty = pass).
 
-    A workload fails when it got more than ``tolerance`` × slower, or
-    when it derived a different atom count at the same size (a changed
-    model is a correctness bug, not noise).  Workloads measured at
-    different sizes, or present on one side only, are skipped.
+    A workload fails when it got more than ``tolerance`` × slower, when
+    its peak allocation (``mem_peak_bytes`` / ``bytes_per_atom``, v6+)
+    grew past ``mem_tolerance`` × the baseline's, or when it derived a
+    different atom count at the same size (a changed model is a
+    correctness bug, not noise).  Workloads measured at different sizes,
+    present on one side only, or lacking memory accounting on either
+    side are skipped (for the affected gate only).
     """
     problems: List[str] = []
     compared = 0
@@ -657,6 +671,21 @@ def compare_reports(
                 f"{name}: {wall:.4f}s vs baseline {base_wall:.4f}s "
                 f"(> {tolerance:g}x slower)"
             )
+        for key, unit, noise_floor in (
+            ("mem_peak_bytes", "B", 1 << 20),
+            ("bytes_per_atom", "B/atom", 64.0),
+        ):
+            base_value = base.get(key)
+            value = record.get(key)
+            if base_value is None or value is None:
+                continue  # pre-v6 baseline, or an atom-free workload
+            mem_floor = max(float(base_value), noise_floor)
+            if float(value) > mem_tolerance * mem_floor:
+                problems.append(
+                    f"{name}: {key} {float(value):.0f}{unit} vs baseline "
+                    f"{float(base_value):.0f}{unit} "
+                    f"(> {mem_tolerance:g}x more memory)"
+                )
     if compared == 0:
         problems.append(
             "no comparable workloads (size/name mismatch between baseline "
@@ -668,6 +697,153 @@ def compare_reports(
 def load_report(path: str) -> Dict[str, Any]:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# -- trend tooling (``repro trend``) ------------------------------------------
+
+
+def bench_report_order(paths: List[str]) -> List[str]:
+    """Committed report paths in trajectory order.
+
+    ``BENCH_<N>[_quick].json`` files sort by their numeric suffix (so
+    ``BENCH_10`` follows ``BENCH_9``, not ``BENCH_1``); anything else
+    falls back to lexicographic order after the numbered ones.
+    """
+    import os
+    import re
+
+    def key(path: str) -> Any:
+        name = os.path.basename(path)
+        match = re.search(r"(\d+)", name)
+        if match:
+            return (0, int(match.group(1)), name)
+        return (1, 0, name)
+
+    return sorted(paths, key=key)
+
+
+def collect_trend(paths: List[str]) -> Dict[str, Any]:
+    """Fold a report trajectory into per-workload time series.
+
+    ``paths`` are read in the given order (use :func:`bench_report_order`
+    first).  Reports from every format version participate: fields a
+    version lacks (memory accounting before v6) show up as ``None``.
+    Returns ``{"reports": [...], "series": {workload: [entry|None]}}``
+    where each entry carries ``wall_s`` / ``atoms`` / ``mem_peak_bytes``
+    / ``bytes_per_atom`` / ``size`` / ``status`` and, for runs after the
+    first comparable one, ``wall_ratio`` against the previous entry at
+    the same size.
+    """
+    reports = []
+    series: Dict[str, List[Optional[Dict[str, Any]]]] = {}
+    for position, path in enumerate(paths):
+        report = load_report(path)
+        reports.append(
+            {
+                "path": path,
+                "version": report.get("version"),
+                "quick": report.get("quick", False),
+            }
+        )
+        for name, record in report.get("workloads", {}).items():
+            rows = series.setdefault(name, [])
+            while len(rows) < position:
+                rows.append(None)
+            rows.append(
+                {
+                    "size": record.get("size"),
+                    "wall_s": record.get("wall_s"),
+                    "atoms": record.get("atoms"),
+                    "status": record.get("status", "complete"),
+                    "mem_peak_bytes": record.get("mem_peak_bytes"),
+                    "bytes_per_atom": record.get("bytes_per_atom"),
+                }
+            )
+    for rows in series.values():
+        while len(rows) < len(paths):
+            rows.append(None)
+        # Ratios compare against the previous run *at the same size*, so
+        # interleaved quick/full trajectories each track their own chain.
+        last_by_size: Dict[Any, Dict[str, Any]] = {}
+        for entry in rows:
+            if entry is None or entry.get("wall_s") is None:
+                continue
+            previous = last_by_size.get(entry.get("size"))
+            if previous is not None and previous.get("wall_s"):
+                floor = max(float(previous["wall_s"]), 1e-3)
+                entry["wall_ratio"] = round(
+                    float(entry["wall_s"]) / floor, 2
+                )
+            last_by_size[entry.get("size")] = entry
+    return {"reports": reports, "series": series}
+
+
+def trend_regressions(
+    trend: Dict[str, Any], *, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Workload steps whose ``wall_ratio`` exceeds ``tolerance``."""
+    problems: List[str] = []
+    reports = trend["reports"]
+    for name in sorted(trend["series"]):
+        for position, entry in enumerate(trend["series"][name]):
+            if entry is None:
+                continue
+            ratio = entry.get("wall_ratio")
+            if ratio is not None and ratio > tolerance:
+                problems.append(
+                    f"{name}: {ratio:g}x slower at "
+                    f"{reports[position]['path']} "
+                    f"({entry['wall_s']:g}s, size {entry['size']})"
+                )
+    return problems
+
+
+def render_trend(
+    trend: Dict[str, Any], *, tolerance: float = DEFAULT_TOLERANCE
+) -> str:
+    """The per-workload time-series table behind ``repro trend``.
+
+    One row per workload, one column per report (in trajectory order);
+    cells show wall seconds, annotated ``*N.Nx`` when the step from the
+    previous same-size run exceeds ``tolerance`` and ``!`` when the run
+    ended with a non-complete status.
+    """
+    import os
+
+    reports = trend["reports"]
+    lines: List[str] = []
+    headers = [os.path.basename(r["path"]) for r in reports]
+    width = max([len(h) for h in headers] + [10])
+    name_width = max([len(n) for n in trend["series"]] + [8])
+    lines.append(
+        " ".join(
+            [f"{'workload':<{name_width}s}"]
+            + [f"{h:>{width}s}" for h in headers]
+        )
+    )
+    for name in sorted(trend["series"]):
+        cells = []
+        for entry in trend["series"][name]:
+            if entry is None or entry.get("wall_s") is None:
+                cells.append(f"{'-':>{width}s}")
+                continue
+            text = f"{float(entry['wall_s']):.4f}"
+            if entry.get("status", "complete") != "complete":
+                text += "!"
+            ratio = entry.get("wall_ratio")
+            if ratio is not None and ratio > tolerance:
+                text += f"*{ratio:g}x"
+            cells.append(f"{text:>{width}s}")
+        lines.append(" ".join([f"{name:<{name_width}s}"] + cells))
+    problems = trend_regressions(trend, tolerance=tolerance)
+    for problem in problems:
+        lines.append(f"regression: {problem}")
+    if not problems:
+        lines.append(
+            f"no step regressions past {tolerance:g}x across "
+            f"{len(reports)} reports"
+        )
+    return "\n".join(lines)
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:

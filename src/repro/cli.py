@@ -5,8 +5,11 @@ Usage::
     python -m repro solve program.mad [--facts facts.mad] [--method auto]
     python -m repro solve program.mad --trace out.jsonl --stats
     python -m repro profile program.mad [--top 10]
+    python -m repro metrics program.mad [--format prometheus]
     python -m repro explain program.mad "s(a, c)"
     python -m repro validate-trace out.jsonl
+    python -m repro postmortem repro-postmortem.jsonl
+    python -m repro trend BENCH_*.json
     python -m repro analyze program.mad
     python -m repro optimize program.mad
     python -m repro shard-plan program.mad [--format json]
@@ -34,7 +37,16 @@ Telemetry surfaces (docs/OBSERVABILITY.md): ``solve --trace out.jsonl``
 streams the versioned event schema as JSONL, ``solve --stats`` prints
 per-SCC / per-rule tables to stderr, ``profile`` ranks rules and
 predicates by cumulative executor time with convergence sparklines, and
-``validate-trace`` checks trace files against the schema.
+``validate-trace`` checks trace files against the schema (any known
+version v1..current).  ``metrics`` solves once under the tracer and
+prints the solve's mergeable metric instruments — counters, gauges and
+log-linear histograms with p50/p95/p99 — as text, JSON, or Prometheus
+exposition.  Every traced solve carries a flight recorder (a bounded
+ring of the last events); when a solve ends abnormally the ring is
+dumped to ``--flight PATH`` (default ``repro-postmortem.jsonl``) and
+``postmortem`` renders the debrief.  ``trend`` aggregates a committed
+``BENCH_*.json`` trajectory into per-workload time series with
+regression flags (docs/PERFORMANCE.md).
 
 Optimizer surfaces (docs/OPTIMIZATION.md): ``optimize`` prints the
 aggregate-pushdown verdicts (MAD8xx) to stderr and the rewritten
@@ -143,13 +155,34 @@ def _print_model(result, query: Optional[str]) -> None:
 
 
 def _make_tracer(args: argparse.Namespace):
-    """A collecting tracer when ``--trace``/``--stats`` asks for one."""
-    if not (getattr(args, "trace", None) or getattr(args, "stats", False)):
-        return None
-    from repro.obs import JsonlSink, Tracer
+    """``(tracer, flight recorder)`` when ``--trace`` / ``--stats`` /
+    ``--flight`` asks for telemetry, else ``(None, None)``.
+
+    Every CLI tracer carries a :class:`repro.obs.FlightRecorder` ring
+    sink; ``cmd_solve`` dumps it when the solve ends abnormally."""
+    if not (
+        getattr(args, "trace", None)
+        or getattr(args, "stats", False)
+        or getattr(args, "flight", None)
+    ):
+        return None, None
+    from repro.obs import FlightRecorder, JsonlSink, Tracer
 
     sinks = [JsonlSink(args.trace)] if args.trace else []
-    return Tracer(*sinks)
+    flight = FlightRecorder()
+    sinks.append(flight)
+    return Tracer(*sinks), flight
+
+
+def _dump_flight(flight, args, *, status: str, reason: str) -> None:
+    """Write the flight-recorder postmortem and say where it went."""
+    path = getattr(args, "flight", None) or "repro-postmortem.jsonl"
+    flight.dump(path, status=status, reason=reason)
+    print(
+        f"% flight recorder dump written to {path} "
+        f"(render with: repro postmortem {path})",
+        file=sys.stderr,
+    )
 
 
 def _make_budget(args: argparse.Namespace):
@@ -176,7 +209,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
     from repro.engine.supervisor import CancelToken, sigint_cancels
 
     db = _load_database(args)
-    tracer = _make_tracer(args)
+    tracer, flight = _make_tracer(args)
     budget = _make_budget(args)
     resume = None
     if args.resume:
@@ -201,6 +234,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 cancel=cancel,
                 resume=resume,
             )
+    except ReproError as exc:
+        # The ring holds the solve's final moments — dump it before the
+        # error propagates so the crash is debriefable offline.
+        if flight is not None:
+            _dump_flight(flight, args, status="error", reason=str(exc))
+        raise
     finally:
         if tracer is not None:
             tracer.close()
@@ -237,6 +276,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
             f"above is a sound lower bound",
             file=sys.stderr,
         )
+        if flight is not None:
+            _dump_flight(
+                flight, args, status=result.status, reason=result.reason or ""
+            )
         if args.checkpoint and result.checkpoint is not None:
             result.checkpoint.save(args.checkpoint)
             print(
@@ -298,8 +341,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_validate_trace(args: argparse.Namespace) -> int:
-    """Validate JSONL trace files against the event schema."""
-    from repro.obs import SCHEMA_VERSION, validate_jsonl
+    """Validate JSONL trace files against the event schema.
+
+    Any known schema version (v1..current) passes; unknown versions fail
+    with an error naming the version found.  The "ok" line reports the
+    version the file actually declares, not the library's newest.
+    """
+    from repro.obs import SCHEMA_VERSION, jsonl_version, validate_jsonl
 
     failures = 0
     for path in args.files:
@@ -310,8 +358,105 @@ def cmd_validate_trace(args: argparse.Namespace) -> int:
             for problem in problems:
                 print(f"  {problem}")
         else:
-            print(f"{path}: ok (schema v{SCHEMA_VERSION})")
+            version = jsonl_version(path)
+            rendered = f"v{version}" if version else f"v{SCHEMA_VERSION}"
+            print(f"{path}: ok (schema {rendered})")
     return 1 if failures else 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Solve once under the tracer and print the metric instruments.
+
+    The registry covers the whole solve — for ``--plan sharded`` the
+    shard workers' instruments are merged in at the barrier, so the
+    histograms and counters include worker-side work at full fidelity.
+    """
+    from repro.obs import Tracer
+
+    db = _load_database(args)
+    tracer = Tracer()
+    try:
+        result = db.solve(
+            check=args.check,
+            method=args.method,
+            max_iterations=args.max_iterations,
+            plan=args.plan,
+            pushdown=args.pushdown,
+            storage=args.storage,
+            shards=args.shards,
+            workers=args.workers,
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(tracer.metrics.snapshot(), indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        print(tracer.metrics.render_prometheus())
+    else:
+        print(tracer.metrics.render_text())
+    if result.status != "complete":
+        print(
+            f"% solve interrupted ({result.status}); metrics cover the "
+            f"work done before the stop",
+            file=sys.stderr,
+        )
+    return EXIT_OK
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    """Render a flight-recorder dump's human-readable debrief."""
+    from repro.obs import load_dump, render_postmortem
+
+    try:
+        header, events = load_dump(args.file)
+    except ValueError as exc:
+        raise CliUsageError(str(exc)) from exc
+    print(render_postmortem(header, events, tail=args.tail))
+    return EXIT_OK
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    """Aggregate a ``BENCH_*.json`` trajectory into per-workload series.
+
+    Exit code is 0 even when steps regress (the table flags them);
+    ``--strict`` turns flagged regressions into exit 1 for CI gates.
+    """
+    import glob
+    import os
+
+    from repro.bench import (
+        bench_report_order,
+        collect_trend,
+        render_trend,
+        trend_regressions,
+    )
+
+    paths = list(args.files)
+    if not paths:
+        paths = glob.glob(os.path.join(args.dir, "BENCH_*.json"))
+    if args.select != "all":
+        quick = args.select == "quick"
+        paths = [
+            p for p in paths if ("_quick" in os.path.basename(p)) == quick
+        ]
+    if not paths:
+        raise CliUsageError(
+            f"no bench reports found (looked for BENCH_*.json in "
+            f"{args.dir!r}); run 'repro bench --out BENCH_N.json' first"
+        )
+    trend = collect_trend(bench_report_order(paths))
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(trend, indent=2, sort_keys=True))
+    else:
+        print(render_trend(trend, tolerance=args.tolerance))
+    if args.strict and trend_regressions(trend, tolerance=args.tolerance):
+        return 1
+    return EXIT_OK
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -595,7 +740,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(_json.dumps(report, indent=2, sort_keys=True))
     if args.compare:
         problems = compare_reports(
-            load_report(args.compare), report, tolerance=args.tolerance
+            load_report(args.compare),
+            report,
+            tolerance=args.tolerance,
+            mem_tolerance=args.mem_tolerance,
         )
         if problems:
             for problem in problems:
@@ -734,6 +882,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-SCC / per-rule statistics to stderr after solving",
     )
+    solve.add_argument(
+        "--flight",
+        metavar="OUT.jsonl",
+        help="flight-recorder dump path for abnormal endings (budget / "
+        "cancellation / divergence / crash); giving the flag enables "
+        "telemetry even without --trace/--stats.  Default path when "
+        "traced: repro-postmortem.jsonl",
+    )
     solve.set_defaults(handler=cmd_solve)
 
     profile = sub.add_parser(
@@ -823,12 +979,105 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate_trace = sub.add_parser(
         "validate-trace",
-        help="check JSONL trace files against the telemetry event schema",
+        help="check JSONL trace files against the telemetry event schema "
+        "(any known version; unknown versions fail, naming the "
+        "version found)",
     )
     validate_trace.add_argument(
         "files", nargs="+", help="JSONL trace files (from --trace)"
     )
     validate_trace.set_defaults(handler=cmd_validate_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="solve under the tracer and print the mergeable metric "
+        "instruments — counters, gauges, p50/p95/p99 histograms — "
+        "as text, JSON, or Prometheus exposition "
+        "(docs/OBSERVABILITY.md)",
+    )
+    add_common(metrics)
+    metrics.add_argument(
+        "--method",
+        choices=["naive", "seminaive", "greedy", "auto"],
+        default="auto",
+    )
+    metrics.add_argument(
+        "--check",
+        choices=["strict", "lenient", "none"],
+        default="strict",
+    )
+    metrics.add_argument("--max-iterations", type=int, default=100_000)
+    metrics.add_argument(
+        "--plan", choices=["smart", "off", "sharded"], default="smart"
+    )
+    metrics.add_argument("--shards", type=int, default=None)
+    metrics.add_argument("--workers", type=int, default=None)
+    metrics.add_argument(
+        "--pushdown", choices=["auto", "off"], default="auto"
+    )
+    metrics.add_argument(
+        "--storage", choices=["boxed", "columnar"], default="boxed"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["text", "json", "prometheus"],
+        default="text",
+    )
+    metrics.set_defaults(handler=cmd_metrics)
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder dump (from an abnormally ended "
+        "solve) as a human-readable debrief",
+    )
+    postmortem.add_argument(
+        "file", help="a dump written by solve --flight (JSONL)"
+    )
+    postmortem.add_argument(
+        "--tail",
+        type=int,
+        default=10,
+        help="events to show from the end of the ring (default 10)",
+    )
+    postmortem.set_defaults(handler=cmd_postmortem)
+
+    trend = sub.add_parser(
+        "trend",
+        help="aggregate committed BENCH_*.json reports into per-workload "
+        "time series with step-regression flags "
+        "(docs/PERFORMANCE.md)",
+    )
+    trend.add_argument(
+        "files",
+        nargs="*",
+        help="bench reports in trajectory order (default: BENCH_*.json "
+        "in --dir, numerically ordered)",
+    )
+    trend.add_argument(
+        "--dir", default=".", help="where to glob BENCH_*.json (default .)"
+    )
+    trend.add_argument(
+        "--select",
+        choices=["all", "quick", "full"],
+        default="all",
+        help="restrict to quick or full-size reports (default: all)",
+    )
+    trend.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    trend.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="flag a step as a regression past this slowdown factor "
+        "between consecutive same-size runs (default 3.0)",
+    )
+    trend.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any step is flagged (default: always exit 0)",
+    )
+    trend.set_defaults(handler=cmd_trend)
 
     analyze = sub.add_parser(
         "analyze", help="run the static pipeline (Defs 2.5, 2.10, 4.5)"
@@ -976,6 +1225,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=3.0,
         help="slowdown factor tolerated by --compare (default 3.0)",
+    )
+    bench.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=2.0,
+        help="memory-growth factor tolerated by --compare on "
+        "mem_peak_bytes / bytes_per_atom (default 2.0; allocation "
+        "counts are steadier than wall time, so the gate is tighter)",
     )
     bench.set_defaults(handler=cmd_bench)
     return parser

@@ -190,6 +190,7 @@ def greedy_fixpoint(
                             continue
                         push(head_pred, head_args)
             if track:
+                settle_wall = round(tracer.clock() - t_settle, 6)
                 tracer.emit(
                     "iteration",
                     scc=scc,
@@ -198,8 +199,11 @@ def greedy_fixpoint(
                     new_atoms=1,
                     changed_atoms=0,
                     total_atoms=j.total_size(),
-                    wall_s=round(tracer.clock() - t_settle, 6),
+                    wall_s=settle_wall,
                 )
+                m = tracer.metrics
+                m.counter("greedy.settled").inc()
+                m.timer("greedy.settle_wall_s").observe(settle_wall)
             if supervise:
                 # One settle = the greedy analogue of a fixpoint round.
                 supervisor.on_round(

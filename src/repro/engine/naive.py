@@ -122,6 +122,7 @@ def kleene_fixpoint(
         if tracer.enabled or supervise:
             new_atoms, changed = delta_counts(j, j_next)
         if tracer.enabled:
+            round_wall = round(tracer.clock() - t_round, 6)
             tracer.emit(
                 "iteration",
                 scc=scc,
@@ -130,8 +131,16 @@ def kleene_fixpoint(
                 new_atoms=new_atoms,
                 changed_atoms=changed,
                 total_atoms=j_next.total_size(),
-                wall_s=round(tracer.clock() - t_round, 6),
+                wall_s=round_wall,
             )
+            m = tracer.metrics
+            m.counter("fixpoint.rounds").inc()
+            m.counter("fixpoint.new_atoms").inc(new_atoms)
+            m.counter("fixpoint.changed_atoms").inc(changed)
+            m.histogram("fixpoint.delta_atoms").observe(
+                float(new_atoms + changed)
+            )
+            m.timer("fixpoint.round_wall_s").observe(round_wall)
         if on_step is not None:
             on_step(step, j_next)
         trajectory.append(j_next.total_size())

@@ -277,6 +277,7 @@ def seminaive_fixpoint(
         iterations = 1
         if track:
             seeded = sum(len(rows) for rows in delta.values())
+            round_wall = round(tracer.clock() - t_round, 6)
             tracer.emit(
                 "iteration",
                 scc=scc,
@@ -285,8 +286,13 @@ def seminaive_fixpoint(
                 new_atoms=seeded,
                 changed_atoms=0,
                 total_atoms=j.total_size(),
-                wall_s=round(tracer.clock() - t_round, 6),
+                wall_s=round_wall,
             )
+            m = tracer.metrics
+            m.counter("fixpoint.rounds").inc()
+            m.counter("fixpoint.new_atoms").inc(seeded)
+            m.histogram("fixpoint.delta_atoms").observe(float(seeded))
+            m.timer("fixpoint.round_wall_s").observe(round_wall)
         if supervise:
             seeded = sum(len(rows) for rows in delta.values())
             supervisor.on_round(
@@ -352,16 +358,24 @@ def seminaive_fixpoint(
             trajectory.append(j.total_size())
             iterations += 1
             if track:
+                delta_size = sum(len(rows) for rows in delta.values())
+                round_wall = round(tracer.clock() - t_round, 6)
                 tracer.emit(
                     "iteration",
                     scc=scc,
                     iteration=iterations,
-                    delta_atoms=sum(len(rows) for rows in delta.values()),
+                    delta_atoms=delta_size,
                     new_atoms=new_atoms,
                     changed_atoms=changed_atoms,
                     total_atoms=j.total_size(),
-                    wall_s=round(tracer.clock() - t_round, 6),
+                    wall_s=round_wall,
                 )
+                m = tracer.metrics
+                m.counter("fixpoint.rounds").inc()
+                m.counter("fixpoint.new_atoms").inc(new_atoms)
+                m.counter("fixpoint.changed_atoms").inc(changed_atoms)
+                m.histogram("fixpoint.delta_atoms").observe(float(delta_size))
+                m.timer("fixpoint.round_wall_s").observe(round_wall)
             if supervise:
                 supervisor.on_round(
                     scc=scc,

@@ -31,10 +31,20 @@ hashing to ``k``, and the barrier union is the monolithic model.  The
 differential suite (``tests/test_sharded_equivalence.py``) pins
 bit-identical models against the default plan and the naive evaluator.
 
-Worker processes run unsupervised and untraced (budgets, cancellation
-and telemetry remain parent-side, at seed/merge granularity); the solver
-therefore falls back to sequential evaluation for supervised or resumed
-solves — see ``_shard_fallback_reason`` in :mod:`repro.engine.solver`.
+Worker processes run unsupervised (budgets and cancellation remain
+parent-side, at seed/merge granularity); the solver therefore falls back
+to sequential evaluation for supervised or resumed solves — see
+``_shard_fallback_reason`` in :mod:`repro.engine.solver`.  Telemetry,
+however, crosses the boundary: when the parent solve is traced, each
+worker runs a local (non-streaming) :class:`~repro.obs.tracer.Tracer`,
+and ships its per-rule firing stats and mergeable metrics registry
+snapshot back through the pool result alongside the packed row batches.
+The parent folds them in at the barrier — rule stats via
+``tracer.absorb_rule`` (rule indexes map back to identical objects,
+identity being fork-stable), metric instruments via the registry's
+associative ``merge`` (the same two-phase discipline as
+:mod:`repro.aggregates.algebra`) — so a sharded solve's telemetry digest
+covers the worker-side work at full fidelity.
 
 Where it pays: each shard's fixpoint converges *independently*, so
 per-round costs stop accruing for early-converging shards instead of
@@ -93,6 +103,7 @@ class _ForkContext:
     max_iterations: int
     plan: str
     storage: str
+    traced: bool  # parent solve is traced → workers relay telemetry
 
 
 #: Module-level slot read by forked workers.  Only ever set around the
@@ -128,15 +139,27 @@ def _merge_rows(target: Interpretation, rows: RowBatch) -> None:
                 rel.add_tuple(row)
 
 
-def _run_shard(payload: Tuple[int, PackedBatch]) -> Tuple[PackedBatch, int, str]:
+def _run_shard(
+    payload: Tuple[int, PackedBatch],
+) -> Tuple[PackedBatch, int, str, Optional[Dict[str, Any]]]:
     """Worker: one shard's fixpoint over its seed partition.
 
     Runs in a forked child; reads the parent's :data:`_FORK` snapshot.
     Seed and result batches cross the process boundary column-packed.
-    Returns ``(packed derived rows, iterations, status)``.
+    Returns ``(packed derived rows, iterations, status, telemetry)``
+    where ``telemetry`` is ``None`` for untraced solves and otherwise a
+    plain-data relay the parent folds in at the barrier: per-rule
+    cumulative stats keyed by index into ``ctx.program.rules`` (rule
+    objects are identical across the fork, so the parent maps indexes
+    back to the objects its own tracer knows) plus the worker tracer's
+    metrics registry snapshot.
     """
     _, packed = payload
     ctx = _FORK["ctx"]
+    # Local tracer: collect=False (no event buffering, no sinks) — only
+    # the mergeable instruments and rule stats accumulate, which is
+    # exactly what can be shipped back as plain data.
+    tracer = Tracer(collect=False) if ctx.traced else NULL_TRACER
     initial = Interpretation(ctx.program.declarations, storage=ctx.storage)
     _merge_rows(initial, unpack_rows(packed))
     if ctx.method == "kleene":
@@ -148,7 +171,7 @@ def _run_shard(payload: Tuple[int, PackedBatch]) -> Tuple[PackedBatch, int, str]
             strict=False,
             plan=ctx.plan,
             storage=ctx.storage,
-            tracer=NULL_TRACER,
+            tracer=tracer,
             supervisor=NULL_SUPERVISOR,
             initial=initial,
         )
@@ -161,14 +184,28 @@ def _run_shard(payload: Tuple[int, PackedBatch]) -> Tuple[PackedBatch, int, str]
             strict=False,
             plan=ctx.plan,
             storage=ctx.storage,
-            tracer=NULL_TRACER,
+            tracer=tracer,
             supervisor=NULL_SUPERVISOR,
             initial=initial,
         )
+    telemetry: Optional[Dict[str, Any]] = None
+    if ctx.traced:
+        rule_index = {id(rule): i for i, rule in enumerate(ctx.program.rules)}
+        telemetry = {
+            "rules": {
+                rule_index[id(rule)]: [calls, derived, wall]
+                for rule, calls, derived, wall in tracer.rule_stats()
+                if id(rule) in rule_index
+            },
+            "metrics": tracer.metrics.snapshot(),
+            "iterations": fixpoint.iterations,
+            "atoms": fixpoint.interpretation.total_size(),
+        }
     return (
         pack_rows(_interpretation_rows(fixpoint.interpretation, ctx.cdb)),
         fixpoint.iterations,
         fixpoint.status,
+        telemetry,
     )
 
 
@@ -253,15 +290,18 @@ def sharded_fixpoint(
     statuses: List[str] = []
     iterations = 1  # the parent's seed pass
     if partitions:
-        t_merge = tracer.clock() if tracer.enabled else 0.0
+        traced = tracer.enabled
+        t_merge = tracer.clock() if traced else 0.0
+        shard_program = _without_seed_rules(program, seed_rules)
         _FORK["ctx"] = _ForkContext(
-            program=_without_seed_rules(program, seed_rules),
+            program=shard_program,
             cdb=cdb,
             i=i,
             method="kleene" if method in ("naive", "kleene") else "seminaive",
             max_iterations=max_iterations,
             plan=plan,
             storage=storage,
+            traced=traced,
         )
         try:
             mp = multiprocessing.get_context("fork")
@@ -275,11 +315,44 @@ def sharded_fixpoint(
                 results = pool.map(_run_shard, payloads, chunksize=chunksize)
         finally:
             _FORK.pop("ctx", None)
-        for packed, shard_iterations, status in results:
+        for packed, shard_iterations, status, _telemetry in results:
             _merge_rows(merged, unpack_rows(packed))
             statuses.append(status)
             iterations = max(iterations, shard_iterations + 1)
-        if tracer.enabled:
+        if traced:
+            # Barrier telemetry fold: absorb each worker's rule stats
+            # (indexes → the parent's identical rule objects) and merge
+            # its metrics registry snapshot — merge is associative and
+            # shards arrive in sorted order, so the result is
+            # deterministic for any worker count.
+            for (shard, _), (_, _, _, telemetry) in zip(payloads, results):
+                if telemetry is None:
+                    continue
+                for idx, (calls, derived, wall) in sorted(
+                    telemetry["rules"].items()
+                ):
+                    tracer.absorb_rule(
+                        shard_program.rules[idx], calls, derived, wall
+                    )
+                tracer.metrics.merge_snapshot(telemetry["metrics"])
+                tracer.emit(
+                    "worker_telemetry",
+                    scc=scc,
+                    shard=shard,
+                    iterations=telemetry["iterations"],
+                    atoms=telemetry["atoms"],
+                    rules=len(telemetry["rules"]),
+                    metrics=telemetry["metrics"],
+                )
+            m = tracer.metrics
+            m.counter("shard.partitions").inc(len(partitions))
+            for rows in partitions.values():
+                m.histogram("shard.seed_rows").observe(
+                    float(sum(len(batch) for batch in rows.values()))
+                )
+            m.timer("shard.barrier_wall_s").observe(
+                tracer.clock() - t_merge
+            )
             tracer.emit(
                 "shard_merge",
                 scc=scc,

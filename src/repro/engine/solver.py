@@ -661,9 +661,19 @@ def _flush_telemetry(
         index=tracer.index_stats.snapshot(),
         plan_cache={"hits": tracer.plan_hits, "misses": tracer.plan_misses},
     )
+    solve_wall = round(tracer.clock() - t_solve, 6)
+    m = tracer.metrics
+    m.counter("solve.components").inc(len(result.components))
+    m.gauge("solve.atoms").set(float(result.model.total_size()))
+    m.timer("solve.wall_s").observe(solve_wall)
+    # The merged registry (parent sites + worker snapshots folded at the
+    # shard barrier) rides the stream as one ``metrics_snapshot`` event,
+    # emitted before ``solve_end`` so the flight-recorder ring keeps it.
+    if len(tracer.metrics):
+        tracer.emit("metrics_snapshot", metrics=tracer.metrics.snapshot())
     tracer.emit(
         "solve_end",
         iterations=result.total_iterations,
         atoms=result.model.total_size(),
-        wall_s=round(tracer.clock() - t_solve, 6),
+        wall_s=solve_wall,
     )

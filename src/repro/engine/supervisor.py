@@ -338,6 +338,7 @@ class Supervisor:
             reason = token.reason or "cancelled by caller"
             if self.tracer.enabled:
                 self.tracer.emit("cancelled", scc=scc, iteration=iteration)
+                self.tracer.metrics.counter("supervisor.cancellations").inc()
             raise SolveInterrupt(
                 "cancelled", reason, scc=scc, iteration=iteration
             )
@@ -497,6 +498,9 @@ class Supervisor:
                 iteration=iteration,
                 detail=detail,
             )
+            self.tracer.metrics.counter(
+                "supervisor.divergence_warnings"
+            ).inc()
         if self.budget.on_divergence == "abort":
             raise SolveInterrupt(
                 "diverging",
@@ -522,6 +526,7 @@ class Supervisor:
                 scc=scc,
                 iteration=iteration,
             )
+            self.tracer.metrics.counter("supervisor.budget_trips").inc()
 
 
 #: The shared inactive supervisor — the engine default; unbudgeted hot

@@ -12,7 +12,14 @@ path (see docs/OBSERVABILITY.md):
 * :mod:`repro.obs.summary` — :class:`TelemetrySummary`, the structured
   per-rule / per-iteration digest attached to
   :attr:`repro.engine.solver.SolveResult.telemetry`, plus the renderers
-  behind ``repro solve --stats`` and ``repro profile``.
+  behind ``repro solve --stats`` and ``repro profile``;
+* :mod:`repro.obs.metrics` — the mergeable-instrument registry
+  (:class:`MetricsRegistry`: counters, gauges, timers, log-linear
+  histograms) whose associative ``merge`` lets shard workers collect
+  full-fidelity metrics locally and the parent fold them at the
+  barrier — the same two-phase discipline as the aggregate algebra;
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder` bounded ring
+  sink and the ``repro postmortem`` dump/render helpers.
 
 Telemetry is strictly opt-in: an untraced solve goes through
 :data:`NULL_TRACER`, whose ``enabled`` flag keeps every instrumentation
@@ -21,11 +28,27 @@ site down to a single attribute check.
 
 from repro.obs.events import (
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    jsonl_version,
+    stream_version,
     validate_event,
     validate_events,
     validate_jsonl,
 )
-from repro.obs.summary import TelemetrySummary, sparkline, summarize
+from repro.obs.flight import FlightRecorder, load_dump, render_postmortem
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.summary import (
+    TelemetrySummary,
+    WorkerStat,
+    sparkline,
+    summarize,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     CollectorSink,
@@ -36,10 +59,14 @@ from repro.obs.tracer import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "stream_version",
+    "jsonl_version",
     "validate_event",
     "validate_events",
     "validate_jsonl",
     "TelemetrySummary",
+    "WorkerStat",
     "summarize",
     "sparkline",
     "Tracer",
@@ -47,4 +74,12 @@ __all__ = [
     "CollectorSink",
     "JsonlSink",
     "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "FlightRecorder",
+    "load_dump",
+    "render_postmortem",
 ]

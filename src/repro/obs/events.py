@@ -23,7 +23,18 @@ Version history: v1 — initial schema; v2 — supervision events
 docs/ROBUSTNESS.md); v3 — the ``rewrite_applied`` event recording a
 plan-layer aggregate pushdown (see docs/OPTIMIZATION.md); v4 — sharded
 execution events (``shard_plan``, ``shard_merge``) for
-``plan="sharded"`` solves (see docs/PARALLELISM.md).
+``plan="sharded"`` solves (see docs/PARALLELISM.md); v5 — the metrics
+plane: ``metrics_snapshot`` (the solve's merged
+:class:`~repro.obs.metrics.MetricsRegistry`) and ``worker_telemetry``
+(one per shard, relaying the worker's locally collected metrics and
+per-rule statistics back through the barrier).
+
+The validator accepts every version it knows
+(:data:`SUPPORTED_VERSIONS`, currently v1–v5): an event type is checked
+against the version the event declares (:data:`EVENT_SINCE` records
+when each type joined the schema), so an old trace validates under the
+rules of *its* version and a trace from a future schema fails with a
+clear error naming the version found.
 """
 
 from __future__ import annotations
@@ -32,7 +43,10 @@ import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Version stamped into every event's ``v`` field.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+
+#: Every schema version this validator understands.
+SUPPORTED_VERSIONS = frozenset(range(1, SCHEMA_VERSION + 1))
 
 _NUM = (int, float)
 _OPT_STR = (str, type(None))
@@ -158,7 +172,52 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[Tuple[type, ...], bool]]] = {
         "atoms": ((int,), True),
         "wall_s": (_NUM, True),
     },
+    # -- metrics plane (v5): mergeable instruments ---------------------
+    # One per shard of a traced sharded component: the worker's locally
+    # collected telemetry, relayed through the pool result and merged
+    # parent-side at the barrier.  ``metrics`` is the worker registry's
+    # snapshot (repro.obs.metrics wire format); ``rules`` counts the
+    # distinct rules the worker profiled (the per-rule statistics
+    # themselves are folded into the solve-end ``rule_profile`` events).
+    "worker_telemetry": {
+        "scc": ((int,), True),
+        "shard": ((int,), True),
+        "iterations": ((int,), True),
+        "atoms": ((int,), True),
+        "rules": ((int,), True),
+        "metrics": ((dict,), True),
+    },
+    # Once at solve end: the solve's merged metrics registry (counters,
+    # gauges, timers, log-linear histograms), covering parent and worker
+    # work alike.  Render with ``repro metrics``.
+    "metrics_snapshot": {
+        "metrics": ((dict,), True),
+    },
 }
+
+#: Schema version each event type joined in (validation is relative to
+#: the version an event declares).
+EVENT_SINCE: Dict[str, int] = {
+    "trace_start": 1,
+    "phase_start": 1,
+    "phase_end": 1,
+    "scc_start": 1,
+    "iteration": 1,
+    "scc_end": 1,
+    "rule_profile": 1,
+    "counters": 1,
+    "solve_end": 1,
+    "budget_exceeded": 2,
+    "cancelled": 2,
+    "checkpoint": 2,
+    "divergence_warning": 2,
+    "rewrite_applied": 3,
+    "shard_plan": 4,
+    "shard_merge": 4,
+    "worker_telemetry": 5,
+    "metrics_snapshot": 5,
+}
+assert set(EVENT_SINCE) == set(EVENT_TYPES)
 
 #: The common envelope every event carries.
 ENVELOPE: Dict[str, Tuple[Tuple[type, ...], bool]] = {
@@ -191,11 +250,16 @@ def validate_event(event: Any, *, where: str = "event") -> List[str]:
                 f"{_type_names(accepted)}, got {type(value).__name__}"
             )
     version = event.get("v")
-    if isinstance(version, int) and version != SCHEMA_VERSION:
+    if (
+        isinstance(version, int)
+        and not isinstance(version, bool)
+        and version not in SUPPORTED_VERSIONS
+    ):
         problems.append(
-            f"{where}: schema version {version} (validator understands "
-            f"{SCHEMA_VERSION})"
+            f"{where}: schema version {version} is not one this validator "
+            f"knows (understands v1-v{SCHEMA_VERSION})"
         )
+        return problems
     event_type = event.get("type")
     if not isinstance(event_type, str):
         return problems
@@ -203,6 +267,13 @@ def validate_event(event: Any, *, where: str = "event") -> List[str]:
     if payload_schema is None:
         problems.append(f"{where}: unknown event type {event_type!r}")
         return problems
+    if isinstance(version, int) and not isinstance(version, bool):
+        since = EVENT_SINCE[event_type]
+        if since > version:
+            problems.append(
+                f"{where}: event type {event_type!r} joined the schema in "
+                f"v{since}, but this event declares v{version}"
+            )
     for field, (accepted, required) in payload_schema.items():
         if field not in event:
             if required:
@@ -259,6 +330,34 @@ def validate_events(events: Iterable[Any]) -> List[str]:
     if count == 0:
         problems.append("empty event stream")
     return problems
+
+
+def stream_version(events: Iterable[Any]) -> Optional[int]:
+    """The schema version a stream declares (its first event's ``v``),
+    or None for an empty/un-versioned stream.  ``repro validate-trace``
+    reports it so "ok" names the version actually validated."""
+    for event in events:
+        if isinstance(event, Mapping):
+            version = event.get("v")
+            if isinstance(version, int) and not isinstance(version, bool):
+                return version
+        break
+    return None
+
+
+def jsonl_version(path: str) -> Optional[int]:
+    """:func:`stream_version` of a JSONL trace file (None on any parse
+    failure — the validator will report the real problem)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                return stream_version([json.loads(line)])
+    except (OSError, json.JSONDecodeError):
+        return None
+    return None
 
 
 def validate_jsonl(path: str) -> List[str]:

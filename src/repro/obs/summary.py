@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.events import SCHEMA_VERSION
+from repro.obs.metrics import quantiles as _metric_quantiles
 
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -87,6 +88,18 @@ class RuleStat:
 
 
 @dataclass
+class WorkerStat:
+    """One shard worker's relayed telemetry (``worker_telemetry``, v5)."""
+
+    scc: int
+    shard: int
+    iterations: int
+    atoms: int
+    rules: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
 class TelemetrySummary:
     """The structured digest of one traced solve."""
 
@@ -98,6 +111,13 @@ class TelemetrySummary:
     rules: List[RuleStat] = field(default_factory=list)
     counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
     solve: Dict[str, Any] = field(default_factory=dict)
+    #: The solve's merged metrics registry snapshot (``metrics_snapshot``,
+    #: obs v5) — counters/gauges plus histogram states whose quantiles
+    #: :meth:`metric_quantiles` recomputes.  Covers worker-side work for
+    #: sharded solves (the parent merges worker registries pre-snapshot).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Per-shard worker telemetry relays (``worker_telemetry``, obs v5).
+    workers: List[WorkerStat] = field(default_factory=list)
 
     # -- views ---------------------------------------------------------------
 
@@ -128,6 +148,32 @@ class TelemetrySummary:
     def convergence(self, scc: int) -> List[int]:
         """Delta sizes per round of one SCC — the sparkline data."""
         return [row.delta_atoms for row in self.iterations_for(scc)]
+
+    def metric_quantiles(
+        self, name: str
+    ) -> Optional[Dict[str, Optional[float]]]:
+        """p50/p95/p99 of one histogram/timer metric (None if absent)."""
+        payload = self.metrics.get(name)
+        if not isinstance(payload, dict) or payload.get("kind") not in (
+            "histogram",
+            "timer",
+        ):
+            return None
+        return _metric_quantiles(payload)
+
+    def metric_value(self, name: str) -> Optional[float]:
+        """A counter/gauge metric's value (None if absent)."""
+        payload = self.metrics.get(name)
+        if isinstance(payload, dict) and payload.get("kind") in (
+            "counter",
+            "gauge",
+        ):
+            value = payload.get("value")
+            return None if value is None else float(value)
+        return None
+
+    def workers_for(self, scc: int) -> List[WorkerStat]:
+        return [row for row in self.workers if row.scc == scc]
 
     # -- serialisation -------------------------------------------------------
 
@@ -161,6 +207,18 @@ class TelemetrySummary:
             "rules": [vars(row).copy() for row in self.rules],
             "counters": {k: dict(v) for k, v in self.counters.items()},
             "solve": dict(self.solve),
+            "metrics": dict(self.metrics),
+            "workers": [
+                {
+                    "scc": row.scc,
+                    "shard": row.shard,
+                    "iterations": row.iterations,
+                    "atoms": row.atoms,
+                    "rules": row.rules,
+                    "metrics": dict(row.metrics),
+                }
+                for row in self.workers
+            ],
         }
 
     # -- rendering ------------------------------------------------------------
@@ -188,6 +246,8 @@ class TelemetrySummary:
                 f"derived={row.derived:<6d} wall={row.wall_s:.4f}s  {row.rule}"
             )
         lines.extend(self._counter_lines())
+        lines.extend(self._worker_lines())
+        lines.extend(self._metric_lines())
         if self.solve:
             lines.append(
                 f"solve: {self.solve.get('iterations', 0)} iterations, "
@@ -239,6 +299,11 @@ class TelemetrySummary:
                 f"{row.wall_s:.4f}s  {spark}"
             )
         lines.extend(self._counter_lines())
+        lines.extend(self._worker_lines())
+        metric_lines = self._metric_lines()
+        if metric_lines:
+            lines.append("")
+            lines.extend(metric_lines)
         if self.solve:
             lines.append(
                 f"total: {self.solve.get('iterations', 0)} iterations, "
@@ -260,6 +325,37 @@ class TelemetrySummary:
             lines.append(
                 "plan cache: "
                 + " ".join(f"{k}={v}" for k, v in sorted(plan.items()))
+            )
+        return lines
+
+    def _worker_lines(self) -> List[str]:
+        """One line per relayed shard-worker telemetry row."""
+        lines: List[str] = []
+        for row in self.workers:
+            lines.append(
+                f"worker: scc={row.scc} shard={row.shard} "
+                f"iters={row.iterations} atoms={row.atoms} rules={row.rules}"
+            )
+        return lines
+
+    def _metric_lines(self) -> List[str]:
+        """Histogram/timer quantile lines from the merged snapshot."""
+        lines: List[str] = []
+        for name in sorted(self.metrics):
+            payload = self.metrics[name]
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("kind") not in ("histogram", "timer"):
+                continue
+            q = _metric_quantiles(payload)
+            rendered = " ".join(
+                f"{label}={value:.6g}"
+                for label, value in q.items()
+                if value is not None
+            )
+            lines.append(
+                f"metric {name}: count={payload.get('count', 0)} {rendered}"
+                .rstrip()
             )
         return lines
 
@@ -329,6 +425,22 @@ def summarize(events: Iterable[Dict[str, Any]]) -> TelemetrySummary:
                     calls=int(event.get("calls", 0)),
                     derived=int(event.get("derived", 0)),
                     wall_s=float(event.get("wall_s", 0.0)),
+                )
+            )
+        elif kind == "metrics_snapshot":
+            metrics = event.get("metrics", {})
+            if isinstance(metrics, dict):
+                summary.metrics = dict(metrics)
+        elif kind == "worker_telemetry":
+            metrics = event.get("metrics", {})
+            summary.workers.append(
+                WorkerStat(
+                    scc=int(event.get("scc", -1)),
+                    shard=int(event.get("shard", -1)),
+                    iterations=int(event.get("iterations", 0)),
+                    atoms=int(event.get("atoms", 0)),
+                    rules=int(event.get("rules", 0)),
+                    metrics=dict(metrics) if isinstance(metrics, dict) else {},
                 )
             )
         elif kind == "counters":

@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterator, List, Optional, Protocol, Tuple, Union
 
 from repro.engine.interpretation import IndexStats
 from repro.obs.events import SCHEMA_VERSION
+from repro.obs.metrics import MetricsRegistry
 
 
 class Sink(Protocol):
@@ -88,6 +89,7 @@ class Tracer:
         "collect",
         "events",
         "index_stats",
+        "metrics",
         "plan_hits",
         "plan_misses",
         "clock",
@@ -108,6 +110,11 @@ class Tracer:
         self.collect = collect
         self.events: List[Dict[str, Any]] = []
         self.index_stats = IndexStats()
+        #: The solve's mergeable instruments (docs/OBSERVABILITY.md):
+        #: populated at the guarded instrumentation sites, merged with
+        #: worker snapshots at the shard barrier, snapshotted into the
+        #: ``metrics_snapshot`` event at solve end.
+        self.metrics = MetricsRegistry()
         self.plan_hits = 0
         self.plan_misses = 0
         self.clock = clock
@@ -180,6 +187,32 @@ class Tracer:
             entry[1] += 1
             entry[2] += derived
             entry[3] += wall_s
+        m = self.metrics
+        m.counter("rule.firings").inc()
+        m.counter("rule.derived").inc(derived)
+        m.histogram("rule.derived_per_firing").observe(float(derived))
+        m.timer("rule.wall_s").observe(wall_s)
+
+    def absorb_rule(
+        self, rule: Any, calls: int, derived: int, wall_s: float
+    ) -> None:
+        """Fold a worker's cumulative statistics for ``rule`` in.
+
+        The shard-barrier counterpart of :meth:`record_rule`: workers
+        ship ``(calls, derived, wall)`` per rule index through the pool
+        result, and the parent maps indexes back to its own rule objects
+        (identity-preserving through ``fork``) before calling this.
+        Only the tabular rule stats are updated — the worker's metric
+        histograms arrive separately via its registry snapshot, so
+        nothing is double-counted.
+        """
+        entry = self._rule_stats.get(id(rule))
+        if entry is None:
+            self._rule_stats[id(rule)] = [rule, calls, derived, wall_s]
+        else:
+            entry[1] += calls
+            entry[2] += derived
+            entry[3] += wall_s
 
     def rule_stats(self) -> List[Tuple[Any, int, int, float]]:
         """``(rule, calls, derived, wall_s)`` per executed rule."""
@@ -191,8 +224,10 @@ class Tracer:
     def count_plan(self, hit: bool) -> None:
         if hit:
             self.plan_hits += 1
+            self.metrics.counter("plan.cache_hits").inc()
         else:
             self.plan_misses += 1
+            self.metrics.counter("plan.cache_misses").inc()
 
     # -- lifecycle ---------------------------------------------------------------
 

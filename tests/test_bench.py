@@ -6,8 +6,11 @@ import pytest
 
 from repro.bench import (
     WORKLOADS,
+    bench_report_order,
+    collect_trend,
     compare_reports,
     run_suite,
+    trend_regressions,
     write_report,
 )
 from repro.cli import main
@@ -166,3 +169,171 @@ class TestBenchCli:
     def test_bench_unknown_workload_errors(self):
         # Usage-class mistake: exit 1 (see the CLI exit-code taxonomy).
         assert main(["bench", "--workload", "warp-drive"]) == 1
+
+
+class TestMemoryGate:
+    def workload(self, **overrides):
+        record = {
+            "size": 16,
+            "wall_s": 0.01,
+            "atoms": 73,
+            "mem_peak_bytes": 8 << 20,
+            "bytes_per_atom": 4096.0,
+        }
+        record.update(overrides)
+        return {"workloads": {"circuit": record}}
+
+    def test_memory_regression_fails(self):
+        base = self.workload()
+        current = self.workload(mem_peak_bytes=40 << 20)
+        problems = compare_reports(base, current, mem_tolerance=2.0)
+        assert problems and "mem_peak_bytes" in problems[0]
+        assert "more memory" in problems[0]
+
+    def test_bytes_per_atom_regression_fails(self):
+        base = self.workload()
+        current = self.workload(bytes_per_atom=16384.0)
+        problems = compare_reports(base, current, mem_tolerance=2.0)
+        assert problems and "bytes_per_atom" in problems[0]
+
+    def test_within_mem_tolerance_passes(self):
+        base = self.workload()
+        current = self.workload(
+            mem_peak_bytes=12 << 20, bytes_per_atom=6000.0
+        )
+        assert compare_reports(base, current, mem_tolerance=2.0) == []
+
+    def test_pre_v6_baseline_skips_mem_gate(self):
+        """Baselines written before memory accounting existed carry no
+        mem keys; the gate must skip, not crash or fail."""
+        base = self.workload(mem_peak_bytes=None, bytes_per_atom=None)
+        current = self.workload(mem_peak_bytes=99 << 20)
+        assert compare_reports(base, current, mem_tolerance=2.0) == []
+
+    def test_noise_floor_absorbs_tiny_baselines(self):
+        """A 100-byte baseline doubling to 200 bytes is noise: the
+        1 MiB / 64 B-per-atom floors keep micro-workloads out of the
+        gate."""
+        base = self.workload(mem_peak_bytes=100, bytes_per_atom=1.0)
+        current = self.workload(mem_peak_bytes=200, bytes_per_atom=2.0)
+        assert compare_reports(base, current, mem_tolerance=2.0) == []
+
+
+class TestTrend:
+    def report(self, tmp_path, name, wall_s, *, size=16, quick=False):
+        path = tmp_path / name
+        payload = {
+            "version": 7,
+            "quick": quick,
+            "workloads": {
+                "circuit": {
+                    "size": size,
+                    "wall_s": wall_s,
+                    "atoms": 73,
+                    "status": "complete",
+                }
+            },
+        }
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_bench_report_order_is_natural(self):
+        ordered = bench_report_order(
+            ["BENCH_10.json", "BENCH_9.json", "BENCH_2_quick.json", "z.json"]
+        )
+        assert ordered == [
+            "BENCH_2_quick.json",
+            "BENCH_9.json",
+            "BENCH_10.json",
+            "z.json",
+        ]
+
+    def test_ratios_chain_per_size(self, tmp_path):
+        """Quick (small-size) reports interleaved with full runs must
+        not pollute the full-run ratio chain."""
+        paths = [
+            self.report(tmp_path, "BENCH_1.json", 1.0, size=64),
+            self.report(tmp_path, "BENCH_2_quick.json", 0.01, size=16),
+            self.report(tmp_path, "BENCH_3.json", 2.0, size=64),
+        ]
+        rows = collect_trend(paths)["series"]["circuit"]
+        assert "wall_ratio" not in rows[0]  # first of its size chain
+        assert "wall_ratio" not in rows[1]  # only quick run
+        assert rows[2]["wall_ratio"] == 2.0  # vs BENCH_1, not the quick run
+
+    def test_missing_workload_padded_with_none(self, tmp_path):
+        paths = [
+            self.report(tmp_path, "BENCH_1.json", 1.0),
+            str(tmp_path / "BENCH_2.json"),
+        ]
+        (tmp_path / "BENCH_2.json").write_text(
+            json.dumps({"version": 7, "workloads": {}})
+        )
+        trend = collect_trend(paths)
+        assert trend["series"]["circuit"] == [
+            trend["series"]["circuit"][0],
+            None,
+        ]
+
+    def test_trend_regressions_flag_big_steps(self, tmp_path):
+        paths = [
+            self.report(tmp_path, "BENCH_1.json", 0.1),
+            self.report(tmp_path, "BENCH_2.json", 0.5),
+        ]
+        trend = collect_trend(paths)
+        problems = trend_regressions(trend, tolerance=3.0)
+        assert problems and "circuit" in problems[0]
+        assert "5x slower" in problems[0]
+        assert trend_regressions(trend, tolerance=6.0) == []
+
+
+class TestTrendCli:
+    def write(self, tmp_path, name, wall_s):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 7,
+                    "quick": False,
+                    "workloads": {
+                        "circuit": {
+                            "size": 16,
+                            "wall_s": wall_s,
+                            "atoms": 73,
+                            "status": "complete",
+                        }
+                    },
+                }
+            )
+        )
+        return str(path)
+
+    def test_trend_renders_table_and_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "BENCH_1.json", 0.1)
+        b = self.write(tmp_path, "BENCH_2.json", 0.9)
+        assert main(["trend", a, b]) == 0  # informational by default
+        out = capsys.readouterr().out
+        assert "workload" in out
+        assert "regression: circuit" in out
+
+    def test_trend_strict_fails_on_regression(self, tmp_path):
+        a = self.write(tmp_path, "BENCH_1.json", 0.1)
+        b = self.write(tmp_path, "BENCH_2.json", 0.9)
+        assert main(["trend", "--strict", a, b]) == 1
+        assert main(["trend", "--strict", "--tolerance", "20", a, b]) == 0
+
+    def test_trend_dir_discovers_reports(self, tmp_path, capsys):
+        self.write(tmp_path, "BENCH_1.json", 0.1)
+        self.write(tmp_path, "BENCH_2.json", 0.1)
+        assert main(["trend", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_1.json" in out and "BENCH_2.json" in out
+
+    def test_trend_json_format(self, tmp_path, capsys):
+        a = self.write(tmp_path, "BENCH_1.json", 0.1)
+        assert main(["trend", "--format", "json", a]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series"]["circuit"][0]["wall_s"] == 0.1
+
+    def test_trend_without_reports_is_usage_error(self, tmp_path):
+        assert main(["trend", "--dir", str(tmp_path)]) == 1

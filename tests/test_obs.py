@@ -7,11 +7,14 @@ import time
 from repro.obs import (
     NULL_TRACER,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     CollectorSink,
     JsonlSink,
     TelemetrySummary,
     Tracer,
+    jsonl_version,
     sparkline,
+    stream_version,
     summarize,
     validate_event,
     validate_events,
@@ -317,3 +320,106 @@ class TestSummary:
         kinds = [e["type"] for e in tracer.events]
         assert kinds == ["trace_start", "phase_start", "phase_end"]
         assert tracer.events[-1]["phase"] == "analyze"
+
+
+class TestMultiVersionValidation:
+    """The validator accepts every schema version it has ever shipped
+    (v1-v5) and checks event types against the version each event
+    *declares*, not the current one."""
+
+    def test_every_supported_version_accepted(self):
+        for version in sorted(SUPPORTED_VERSIONS):
+            event = {"v": version, "seq": 1, "t": 0.0, "type": "trace_start"}
+            assert validate_event(event) == [], version
+
+    def test_v1_stream_with_v1_event_types_validates(self):
+        events = [
+            {"v": 1, "seq": 1, "t": 0.0, "type": "trace_start"},
+            {
+                "v": 1,
+                "seq": 2,
+                "t": 0.5,
+                "type": "solve_end",
+                "iterations": 3,
+                "atoms": 9,
+                "wall_s": 0.5,
+            },
+        ]
+        assert validate_events(events) == []
+
+    def test_unknown_version_error_names_the_version(self):
+        for version in (0, 6, 99):
+            event = {"v": version, "seq": 1, "t": 0.0, "type": "trace_start"}
+            assert any(
+                f"schema version {version}" in p
+                for p in validate_event(event)
+            ), version
+
+    def test_event_type_newer_than_declared_version_rejected(self):
+        event = {
+            "v": 1,
+            "seq": 1,
+            "t": 0.0,
+            "type": "metrics_snapshot",
+            "metrics": {},
+        }
+        problems = validate_event(event)
+        assert any("joined the schema in v5" in p for p in problems)
+
+    def test_stream_version_reads_first_event(self):
+        tracer, _ = traced_solve()
+        assert stream_version(tracer.events) == SCHEMA_VERSION
+        assert stream_version([]) is None
+        assert stream_version([{"v": 3, "type": "trace_start"}]) == 3
+
+    def test_jsonl_version_from_file(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            json.dumps({"v": 2, "seq": 1, "t": 0.0, "type": "trace_start"})
+            + "\n"
+        )
+        assert jsonl_version(str(path)) == 2
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("not json\n")
+        assert jsonl_version(str(junk)) is None
+
+
+class TestSummaryEdgeCases:
+    def test_empty_event_list(self):
+        summary = summarize([])
+        assert summary.metrics == {}
+        assert summary.workers == []
+        assert summary.metric_value("rule.firings") is None
+        assert summary.metric_quantiles("fixpoint.delta_atoms") is None
+        # Renders without blowing up on the absent sections.
+        assert isinstance(summary.render_stats(), str)
+
+    def test_single_iteration_solve(self):
+        db = shortest_path.database({"arc": [("a", "b", 1.0)]})
+        tracer = Tracer()
+        result = db.solve(tracer=tracer, pushdown="off")
+        assert result.status == "complete"
+        summary = summarize(tracer.events)
+        assert summary.workers == []  # sequential plan: no relay rows
+        assert summary.metric_value("fixpoint.rounds") >= 1
+        quantiles = summary.metric_quantiles("fixpoint.delta_atoms")
+        assert quantiles is not None and quantiles["p50"] is not None
+        assert "metric fixpoint.delta_atoms" in summary.render_stats()
+
+    def test_metric_kind_mismatch_returns_none(self):
+        tracer, _ = traced_solve()
+        summary = summarize(tracer.events)
+        # quantiles only make sense for histograms/timers...
+        assert summary.metric_quantiles("rule.firings") is None
+        # ...and scalar values only for counters/gauges.
+        assert summary.metric_value("fixpoint.delta_atoms") is None
+        # Absent names are None either way, never KeyError.
+        assert summary.metric_value("no.such.metric") is None
+        assert summary.metric_quantiles("no.such.metric") is None
+
+    def test_report_dict_carries_metrics_and_workers(self):
+        tracer, _ = traced_solve()
+        report = summarize(tracer.events).to_report_dict()
+        assert report["workers"] == []
+        assert report["metrics"]["rule.firings"]["kind"] == "counter"
+        json.dumps(report)  # stays JSON-serialisable
