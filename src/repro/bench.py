@@ -55,7 +55,16 @@ from repro.obs import Tracer
 #: docs/OBSERVABILITY.md); ``--compare`` additionally gates
 #: ``mem_peak_bytes`` / ``bytes_per_atom`` against ``--mem-tolerance``;
 #: the committed report trajectory is aggregated by ``repro trend``.
-FORMAT_VERSION = 7
+#: v8: the ``serve_load`` workload — an in-process ``repro serve``
+#: instance under a concurrent client load (N client threads × M
+#: queries via :class:`repro.serve.ServeClient`) — whose record carries
+#: service-level fields next to ``wall_s``: ``qps`` and request-latency
+#: percentiles ``p50_ms`` / ``p99_ms`` (docs/SERVING.md); workload
+#: records may generally carry such extra fields via the result's
+#: ``bench_extra`` dict.  ``run_suite`` / ``run_workload`` accept a
+#: ``cancel`` token so SIGINT/SIGTERM ends a batch run cleanly between
+#: repetitions (the ``repro bench`` handler wires both signals).
+FORMAT_VERSION = 8
 
 #: Default ``--compare`` failure threshold: committed baseline × factor.
 DEFAULT_TOLERANCE = 3.0
@@ -417,6 +426,159 @@ def _company_control_dataset(size: int) -> Callable[..., Any]:
     return run
 
 
+class _ServeLoadResult:
+    """Solve-result shim for the ``serve_load`` workload.
+
+    ``run_workload`` reads a solve result's shape (status, iterations,
+    model size, component methods); a load test has one *representative*
+    solve (every request answers the same query over the same snapshot,
+    so atoms/rounds are deterministic) plus service-level numbers, which
+    ride along in ``bench_extra`` and get merged into the record.
+    """
+
+    class _Model:
+        def __init__(self, atoms: int) -> None:
+            self._atoms = atoms
+
+        def total_size(self) -> int:
+            return self._atoms
+
+    def __init__(
+        self,
+        *,
+        status: str,
+        atoms: int,
+        iterations: int,
+        bench_extra: Dict[str, Any],
+    ) -> None:
+        self.status = status
+        self.model = self._Model(atoms)
+        self.total_iterations = iterations
+        self.component_methods: List[str] = []
+        self.telemetry = None
+        self.bench_extra = bench_extra
+
+
+def _make_serve_load(
+    clients: int = 4,
+) -> Callable[[int], Callable[..., Any]]:
+    """The solve service under concurrent load (docs/SERVING.md).
+
+    Starts an in-process :class:`repro.serve.SolveServer` hosting the
+    shortest-path program over a fixed random digraph, fires ``size``
+    queries from ``clients`` client threads, and reports service-level
+    numbers — ``qps`` and request-latency percentiles ``p50_ms`` /
+    ``p99_ms`` — next to the representative solve's atoms/rounds.  The
+    server is drained (not killed) at the end of every repetition, so
+    the timed region exercises the full admitted-request path:
+    admission, per-request budget, snapshot solve, telemetry fold-in.
+    """
+    from repro.programs import shortest_path
+    from repro.workloads import random_digraph
+
+    def setup(size: int) -> Callable[..., Any]:
+        # The served graph is fixed (size scales the *request* count):
+        # small enough that one request costs tens of milliseconds, so
+        # the load test measures the serving path, not one big solve.
+        arcs = random_digraph(16, seed=16)
+
+        def run(
+            plan: str,
+            tracer: Optional[Tracer] = None,
+            budget: Optional[Budget] = None,
+            pushdown: str = "auto",
+            storage: str = "boxed",
+        ) -> Any:
+            import statistics
+            import tempfile
+            import threading
+
+            from repro.serve import (
+                HostedDatabase,
+                ServeClient,
+                ServeSettings,
+                ServerThread,
+                SolveServer,
+            )
+
+            db = shortest_path.database({"arc": arcs})
+            server = SolveServer(
+                {"bench": HostedDatabase("bench", db)},
+                ServeSettings(
+                    max_inflight=clients,
+                    queue_depth=2 * clients,
+                    default_timeout=30.0,
+                    default_plan=plan,
+                    storage=storage,
+                    flight_dir=tempfile.gettempdir(),
+                    checkpoint_dir=None,
+                ),
+            )
+            thread = ServerThread(server)
+            port = thread.start()
+            latencies: List[float] = []
+            failures: List[int] = []
+            lock = threading.Lock()
+            per_client = max(1, size // clients)
+
+            def client_main() -> None:
+                client = ServeClient("127.0.0.1", port)
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    status, body = client.solve("bench", "s")
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        if status == 200:
+                            latencies.append(elapsed)
+                        else:
+                            failures.append(status)
+
+            t0 = time.perf_counter()
+            threads = [
+                threading.Thread(target=client_main)
+                for _ in range(clients)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join()
+            wall = time.perf_counter() - t0
+            # One representative direct request for atoms/rounds.
+            status, body = ServeClient("127.0.0.1", port).solve(
+                "bench", "s"
+            )
+            thread.drain()
+            ok = not failures and status == 200
+            ordered = sorted(latencies)
+            extra: Dict[str, Any] = {
+                "requests": len(latencies),
+                "qps": round(len(latencies) / wall, 1) if wall else None,
+                "p50_ms": (
+                    round(1000 * statistics.median(ordered), 2)
+                    if ordered
+                    else None
+                ),
+                "p99_ms": (
+                    round(
+                        1000 * ordered[max(0, int(0.99 * len(ordered)) - 1)],
+                        2,
+                    )
+                    if ordered
+                    else None
+                ),
+            }
+            return _ServeLoadResult(
+                status="complete" if ok else "error",
+                atoms=body.get("atoms", 0) if ok else 0,
+                iterations=body.get("iterations", 0) if ok else 0,
+                bench_extra=extra,
+            )
+
+        return run
+
+    return setup
+
+
 WORKLOADS: List[Workload] = [
     Workload(
         "shortest_path", "seminaive", 64, 16, _make_shortest_path("seminaive")
@@ -480,6 +642,10 @@ WORKLOADS: List[Workload] = [
         12,
         _company_control_dataset,
     ),
+    # The serving showcase (docs/SERVING.md): an in-process solve
+    # service under a 4-client concurrent load; the record's qps /
+    # p50_ms / p99_ms ride along with wall_s (format v8).
+    Workload("serve_load", "auto", 120, 16, _make_serve_load()),
 ]
 
 
@@ -494,6 +660,7 @@ def run_workload(
     telemetry: bool = True,
     memory: bool = True,
     timeout: Optional[float] = None,
+    cancel: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Best-of-``repeat`` measurement of one workload.
 
@@ -513,6 +680,10 @@ def run_workload(
     budget = Budget(timeout=timeout) if timeout is not None else None
     best: Optional[Dict[str, Any]] = None
     for _ in range(max(1, repeat)):
+        if cancel is not None and cancel.cancelled:
+            # A SIGINT/SIGTERM landed (see ``sigint_cancels``): stop
+            # between repetitions so the report stays well-formed.
+            break
         solve = workload.setup(size)
         t0 = time.perf_counter()
         result = solve(plan, None, budget, pushdown, storage)
@@ -533,14 +704,34 @@ def run_workload(
         )
         if sharded:
             record["sharded_components"] = sharded
+        extra = getattr(result, "bench_extra", None)
+        if isinstance(extra, dict):
+            # Service-level numbers (qps, latency percentiles) from the
+            # serve_load workload ride along with the solve fields.
+            record.update(extra)
         if best is None or record["wall_s"] < best["wall_s"]:
             best = record
         if result.status != "complete":
             # An aborted run's timing is the budget, not the workload;
             # further repetitions would just burn the same budget again.
             break
-    assert best is not None
-    if telemetry and best["status"] == "complete":
+    if best is None:
+        # Cancelled before the first repetition finished.
+        return {
+            "size": size,
+            "method": workload.method,
+            "storage": storage,
+            "wall_s": 0.0,
+            "rounds": 0,
+            "atoms": 0,
+            "status": "cancelled",
+            "index_stats": {},
+        }
+    # A pending cancellation also skips the untimed traced/tracemalloc
+    # follow-ups — they re-run the whole workload, which would stretch
+    # a SIGTERM exit by two more repetitions.
+    cancelled = cancel is not None and cancel.cancelled
+    if telemetry and best["status"] == "complete" and not cancelled:
         tracer = Tracer()
         traced = workload.setup(size)(plan, tracer, budget, pushdown, storage)
         best["index_stats"] = tracer.index_stats.snapshot()
@@ -548,7 +739,7 @@ def run_workload(
             best["telemetry"] = traced.telemetry.to_report_dict()
     else:
         best["index_stats"] = {}
-    if memory and best["status"] == "complete":
+    if memory and best["status"] == "complete" and not cancelled:
         import tracemalloc
 
         solve = workload.setup(size)
@@ -582,6 +773,7 @@ def run_suite(
     only: Optional[List[str]] = None,
     progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
     timeout: Optional[float] = None,
+    cancel: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run the (selected) workloads and return the report dict."""
     names = {w.name for w in WORKLOADS}
@@ -605,6 +797,11 @@ def run_suite(
     for workload in WORKLOADS:
         if only and workload.name not in only:
             continue
+        if cancel is not None and cancel.cancelled:
+            # SIGINT/SIGTERM during a batch run: stop between workloads
+            # and mark the report so nobody mistakes it for a full run.
+            report["cancelled"] = True
+            break
         record = run_workload(
             workload,
             quick=quick,
@@ -613,10 +810,16 @@ def run_suite(
             storage=storage,
             repeat=repeat,
             timeout=timeout,
+            cancel=cancel,
         )
         report["workloads"][workload.name] = record
         if progress is not None:
             progress(workload.name, record)
+    if cancel is not None and cancel.cancelled:
+        # Also covers a cancel that landed during the final workload:
+        # its record is partial (best-so-far, follow-ups skipped), so
+        # the report must still say so.
+        report["cancelled"] = True
     return report
 
 

@@ -169,14 +169,21 @@ def _make_tracer(args: argparse.Namespace):
     from repro.obs import FlightRecorder, JsonlSink, Tracer
 
     sinks = [JsonlSink(args.trace)] if args.trace else []
-    flight = FlightRecorder()
+    flight = FlightRecorder(getattr(args, "flight_size", None) or 256)
     sinks.append(flight)
     return Tracer(*sinks), flight
 
 
 def _dump_flight(flight, args, *, status: str, reason: str) -> None:
-    """Write the flight-recorder postmortem and say where it went."""
-    path = getattr(args, "flight", None) or "repro-postmortem.jsonl"
+    """Write the flight-recorder postmortem and say where it went.
+
+    Without an explicit ``--flight PATH`` the dump goes to a
+    collision-safe generated path (timestamp + pid + sequence), so
+    concurrent solves in one directory never clobber each other's
+    postmortems."""
+    from repro.obs import default_dump_path
+
+    path = getattr(args, "flight", None) or default_dump_path()
     flight.dump(path, status=status, reason=reason)
     print(
         f"% flight recorder dump written to {path} "
@@ -696,6 +703,97 @@ def cmd_repl(args: argparse.Namespace) -> int:
     return run_repl(db, storage=args.storage, method=args.method)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resilient solve service (docs/SERVING.md).
+
+    Hosts one named database per ``NAME=FILE`` argument (or per file,
+    named by its stem) plus any ``--program`` built-ins.  Serves until
+    SIGTERM/SIGINT, then drains: readiness flips, new solves are
+    refused, in-flight solves get ``--drain-grace`` seconds and are
+    then cancelled cooperatively (each responds with a resumable
+    checkpoint reference) before the process exits 0.
+    """
+    import asyncio
+    import os
+    import signal
+
+    from repro.serve import HostedDatabase, ServeSettings, SolveServer
+
+    databases = {}
+
+    def _host(name: str, source: str) -> None:
+        if name in databases:
+            raise CliUsageError(f"duplicate database name {name!r}")
+        db = Database(name=name)
+        db.load(source)
+        databases[name] = HostedDatabase(name, db)
+
+    for spec in args.databases:
+        if "=" in spec:
+            name, _, path = spec.partition("=")
+        else:
+            name, path = os.path.splitext(os.path.basename(spec))[0], spec
+        _host(name, _read_source(path))
+    for program in args.program or []:
+        catalog = {p.name: p for p in ALL_PROGRAMS}
+        if program not in catalog:
+            raise CliUsageError(
+                f"unknown built-in program {program!r}; "
+                f"try: {', '.join(sorted(catalog))}"
+            )
+        _host(program, catalog[program].source)
+    if not databases:
+        raise CliUsageError(
+            "nothing to serve: give rule files (NAME=FILE) or --program"
+        )
+
+    server = SolveServer(
+        databases,
+        ServeSettings(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            default_timeout=args.timeout,
+            max_timeout=args.max_timeout,
+            drain_grace=args.drain_grace,
+            flight_size=args.flight_size,
+            flight_dir=args.flight_dir,
+            checkpoint_dir=args.checkpoint_dir or None,
+            default_method=args.method,
+            default_plan=args.plan,
+            storage=args.storage,
+        ),
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        # SIGTERM and SIGINT both begin a graceful drain; the handler is
+        # idempotent, so a second signal during the drain is harmless.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.begin_drain)
+        print(
+            f"% serving {', '.join(sorted(databases))} on "
+            f"http://{args.host}:{server.port} "
+            f"(max {args.max_inflight} in flight, queue "
+            f"{args.queue_depth}; SIGTERM drains)",
+            file=sys.stderr,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        try:
+            await server.run_until_shutdown()
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+        print("% drained; exiting", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return EXIT_OK
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_reports,
@@ -718,19 +816,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    from repro.engine.supervisor import CancelToken, sigint_cancels
+
+    cancel = CancelToken()
     try:
-        report = run_suite(
-            quick=args.quick,
-            plan=args.plan,
-            pushdown=args.pushdown,
-            storage=args.storage,
-            repeat=args.repeat,
-            only=args.workload or None,
-            progress=progress,
-            timeout=args.timeout,
-        )
+        # SIGINT/SIGTERM cancel the batch run cooperatively: the suite
+        # stops between repetitions and the partial report (marked
+        # "cancelled") is still written/printed below.
+        with sigint_cancels(cancel):
+            report = run_suite(
+                quick=args.quick,
+                plan=args.plan,
+                pushdown=args.pushdown,
+                storage=args.storage,
+                repeat=args.repeat,
+                only=args.workload or None,
+                progress=progress,
+                timeout=args.timeout,
+                cancel=cancel,
+            )
     except ValueError as exc:
         raise CliUsageError(str(exc)) from exc
+    if report.get("cancelled"):
+        print("% bench run cancelled; partial report", file=sys.stderr)
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -738,6 +846,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         import json as _json
 
         print(_json.dumps(report, indent=2, sort_keys=True))
+    if report.get("cancelled"):
+        return EXIT_BUDGET
     if args.compare:
         problems = compare_reports(
             load_report(args.compare),
@@ -888,7 +998,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-recorder dump path for abnormal endings (budget / "
         "cancellation / divergence / crash); giving the flag enables "
         "telemetry even without --trace/--stats.  Default path when "
-        "traced: repro-postmortem.jsonl",
+        "traced: a collision-safe generated name "
+        "(repro-postmortem-<stamp>-<pid>.jsonl)",
+    )
+    solve.add_argument(
+        "--flight-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="flight-recorder ring capacity: how many trailing events a "
+        "postmortem dump retains (default 256)",
     )
     solve.set_defaults(handler=cmd_solve)
 
@@ -1168,6 +1287,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--storage", choices=["boxed", "columnar"], default="boxed"
     )
     repl.set_defaults(handler=cmd_repl)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient solve service: named databases over "
+        "HTTP/JSON with per-request budgets, admission control and "
+        "SIGTERM drain-and-checkpoint (docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "databases",
+        nargs="*",
+        metavar="NAME=FILE",
+        help="rule files to host, each as one named database "
+        "(bare FILE uses its stem as the name)",
+    )
+    serve.add_argument(
+        "--program",
+        action="append",
+        help="also host a built-in paper program (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="listen port; 0 picks an ephemeral port (default 8750)",
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port here once listening (for scripts "
+        "starting the server with --port 0)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="concurrent solves (worker threads, default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="admitted-but-waiting requests tolerated before the server "
+        "sheds with 503 + Retry-After (default 8)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="server-side default per-request budget (default 30)",
+    )
+    serve.add_argument(
+        "--max-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard cap on client-requested budgets (default: none)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="after SIGTERM, seconds in-flight solves may finish before "
+        "their cancel tokens are tripped (default 5)",
+    )
+    serve.add_argument(
+        "--flight-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="per-request flight-recorder ring capacity (default 256)",
+    )
+    serve.add_argument(
+        "--flight-dir",
+        default=".",
+        help="directory for postmortem dumps of crashed requests",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=".",
+        help="directory for checkpoints of interrupted solves "
+        "('' disables checkpointing)",
+    )
+    serve.add_argument(
+        "--method",
+        choices=["naive", "seminaive", "greedy", "auto"],
+        default="auto",
+        help="default evaluation mode (requests may override)",
+    )
+    serve.add_argument(
+        "--plan",
+        choices=["smart", "off", "sharded"],
+        default="smart",
+        help="default plan; 'sharded' degrades to sequential per "
+        "request because budgeted solves never fork "
+        "(docs/PARALLELISM.md)",
+    )
+    serve.add_argument(
+        "--storage", choices=["boxed", "columnar"], default="boxed"
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     bench = sub.add_parser(
         "bench",

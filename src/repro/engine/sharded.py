@@ -60,10 +60,13 @@ from __future__ import annotations
 
 import multiprocessing
 import zlib
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.sharding import ShardKey
+from repro.datalog.errors import ReproError
 from repro.datalog.program import Program
 from repro.engine.colpack import PackedBatch, pack_rows, unpack_rows
 from repro.engine.interpretation import Interpretation
@@ -78,6 +81,24 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 #: (:mod:`repro.engine.colpack`) before crossing process boundaries, so
 #: the pickled payload is typed buffers, not per-value boxed objects.
 RowBatch = Dict[str, List[Tuple[Any, ...]]]
+
+
+class ShardWorkerError(ReproError):
+    """A shard worker died (signal/OOM) or raised mid-component.
+
+    Raised at the pool boundary of :func:`sharded_fixpoint` *instead of*
+    letting the raw :class:`BrokenProcessPool` / pickled worker
+    exception escape.  By construction nothing needs invalidating: the
+    parent's interpretation is only ever mutated at the barrier merge,
+    which a failing pool never reaches — the solver catches this error
+    and re-runs the whole component sequentially, recording the reason
+    on the ``shard_plan`` fallback event exactly like a BLOCKED verdict
+    (docs/PARALLELISM.md).
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
 
 
 def shard_of(value: Any, shards: int) -> int:
@@ -311,8 +332,30 @@ def sharded_fixpoint(
             ]
             pool_size = max(1, min(workers, len(payloads)))
             chunksize = max(1, len(payloads) // (pool_size * 4))
-            with mp.Pool(pool_size) as pool:
-                results = pool.map(_run_shard, payloads, chunksize=chunksize)
+            # ProcessPoolExecutor (not mp.Pool): a worker killed by a
+            # signal or the OOM killer surfaces as BrokenProcessPool
+            # instead of hanging the parent on a result that will never
+            # arrive.  Both failure modes — dead worker and a raise
+            # inside _run_shard — are narrowed to ShardWorkerError here
+            # so the solver can degrade to sequential evaluation.
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=pool_size, mp_context=mp
+                ) as pool:
+                    results = list(
+                        pool.map(_run_shard, payloads, chunksize=chunksize)
+                    )
+            except BrokenProcessPool as exc:
+                raise ShardWorkerError(
+                    "shard worker died mid-component "
+                    "(killed by a signal or the OOM killer)"
+                ) from exc
+            except ShardWorkerError:
+                raise
+            except Exception as exc:
+                raise ShardWorkerError(
+                    f"shard worker raised {type(exc).__name__}: {exc}"
+                ) from exc
         finally:
             _FORK.pop("ctx", None)
         for packed, shard_iterations, status, _telemetry in results:

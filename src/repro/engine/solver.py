@@ -54,7 +54,11 @@ from repro.engine.interpretation import (
 from repro.engine.greedy import greedy_applicable, greedy_fixpoint
 from repro.engine.naive import FixpointResult, kleene_fixpoint
 from repro.engine.seminaive import seminaive_fixpoint
-from repro.engine.sharded import sharded_fixpoint, sharded_supported
+from repro.engine.sharded import (
+    ShardWorkerError,
+    sharded_fixpoint,
+    sharded_supported,
+)
 from repro.engine.supervisor import (
     NULL_SUPERVISOR,
     Budget,
@@ -459,30 +463,9 @@ def _solve_traced(
                 rules=len(component.rules),
             )
             t_scc = tracer.clock()
-        try:
-            if use_sharded:
-                assert shard_verdict is not None
-                assert shard_verdict.key is not None
-                fixpoint, _populated = sharded_fixpoint(
-                    eval_program,
-                    component.cdb,
-                    state,
-                    shard_verdict.key,
-                    component.rules,
-                    method=chosen,
-                    shards=n_shards,
-                    workers=n_workers,
-                    max_iterations=max_iterations,
-                    strict=strict_costs,
-                    plan=exec_plan,
-                    storage=storage,
-                    tracer=tracer,
-                    scc=index,
-                    supervisor=supervisor,
-                )
-                chosen = f"{chosen}+sharded"
-            elif chosen == "seminaive":
-                fixpoint = seminaive_fixpoint(
+        def _sequential(method_name: str) -> FixpointResult:
+            if method_name == "seminaive":
+                return seminaive_fixpoint(
                     eval_program,
                     component.cdb,
                     state,
@@ -495,8 +478,8 @@ def _solve_traced(
                     supervisor=supervisor,
                     initial=initial,
                 )
-            elif chosen == "greedy":
-                fixpoint = greedy_fixpoint(
+            if method_name == "greedy":
+                return greedy_fixpoint(
                     eval_program,
                     component,
                     state,
@@ -508,20 +491,64 @@ def _solve_traced(
                     supervisor=supervisor,
                     initial=initial,
                 )
+            return kleene_fixpoint(
+                eval_program,
+                component.cdb,
+                state,
+                max_iterations=max_iterations,
+                strict=strict_costs,
+                plan=exec_plan,
+                storage=storage,
+                tracer=tracer,
+                scc=index,
+                supervisor=supervisor,
+                initial=initial,
+            )
+
+        try:
+            if use_sharded:
+                assert shard_verdict is not None
+                assert shard_verdict.key is not None
+                try:
+                    fixpoint, _populated = sharded_fixpoint(
+                        eval_program,
+                        component.cdb,
+                        state,
+                        shard_verdict.key,
+                        component.rules,
+                        method=chosen,
+                        shards=n_shards,
+                        workers=n_workers,
+                        max_iterations=max_iterations,
+                        strict=strict_costs,
+                        plan=exec_plan,
+                        storage=storage,
+                        tracer=tracer,
+                        scc=index,
+                        supervisor=supervisor,
+                    )
+                    chosen = f"{chosen}+sharded"
+                except ShardWorkerError as failure:
+                    # Crash isolation: a dead or raising worker never
+                    # reaches the barrier merge, so ``state`` is
+                    # untouched — nothing to invalidate.  Re-run the
+                    # whole component sequentially, witnessing the
+                    # reason the same way the BLOCKED fallback does.
+                    if tracer.enabled:
+                        tracer.metrics.counter("shard.worker_failures").inc()
+                        tracer.emit(
+                            "shard_plan",
+                            scc=index,
+                            predicates=sorted(component.cdb),
+                            status=shard_verdict.status,
+                            action="fallback",
+                            reason=f"worker failure: {failure.reason}",
+                            shards=n_shards,
+                            workers=n_workers,
+                        )
+                    fixpoint = _sequential(chosen)
             else:
-                fixpoint = kleene_fixpoint(
-                    eval_program,
-                    component.cdb,
-                    state,
-                    max_iterations=max_iterations,
-                    strict=strict_costs,
-                    plan=exec_plan,
-                    storage=storage,
-                    tracer=tracer,
-                    scc=index,
-                    supervisor=supervisor,
-                    initial=initial,
-                )
+                fixpoint = _sequential(chosen)
         except SolveInterrupt as interrupt:
             # Graceful degradation: fold the evaluator's sound partial
             # state into the model, snapshot a resumable checkpoint, and

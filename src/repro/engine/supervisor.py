@@ -97,36 +97,47 @@ class CancelToken:
 
 @contextmanager
 def sigint_cancels(token: CancelToken) -> Iterator[CancelToken]:
-    """Route SIGINT to ``token.cancel()`` for the duration of the block.
+    """Route SIGINT *and* SIGTERM to ``token.cancel()`` for the block.
 
-    The first Ctrl-C cancels the token — the running solve stops at its
-    next cooperative boundary with ``status="cancelled"`` and a
-    checkpoint, instead of a ``KeyboardInterrupt`` unwinding through a
-    half-applied index update.  A second Ctrl-C restores the previous
-    handler's behaviour (normally: raise), for solves that stopped
-    polling.  Outside the main thread (where ``signal.signal`` is
-    unavailable) the guard degrades to a no-op.
+    The first Ctrl-C — or an orchestrator's SIGTERM at shutdown —
+    cancels the token: the running solve stops at its next cooperative
+    boundary with ``status="cancelled"`` and a checkpoint, instead of a
+    ``KeyboardInterrupt`` unwinding through a half-applied index update
+    (or a default SIGTERM kill tearing the process mid-mutation).  A
+    second signal of either kind restores that signal's previous
+    handler's behaviour (normally: raise / terminate), for solves that
+    stopped polling.  Both previous handlers are restored on exit.
+    Outside the main thread (where ``signal.signal`` is unavailable) the
+    guard degrades to a no-op.
     """
+    guarded = (signal.SIGINT, signal.SIGTERM)
     try:
-        previous = signal.getsignal(signal.SIGINT)
+        previous = {signum: signal.getsignal(signum) for signum in guarded}
 
         def _handler(signum: int, frame: Any) -> None:
             if token.cancelled:
-                # Second interrupt: fall back to the previous handler.
-                signal.signal(signal.SIGINT, previous)
-                if callable(previous):
-                    previous(signum, frame)
+                # Second signal: fall back to this signal's previous
+                # handler (SIGINT: raise KeyboardInterrupt; SIGTERM:
+                # terminate).
+                earlier = previous[signum]
+                signal.signal(signum, earlier)
+                if callable(earlier):
+                    earlier(signum, frame)
+                elif earlier == signal.SIG_DFL and signum == signal.SIGTERM:
+                    signal.raise_signal(signal.SIGTERM)
                 return
-            token.cancel("SIGINT")
+            token.cancel(signal.Signals(signum).name)
 
-        signal.signal(signal.SIGINT, _handler)
+        for signum in guarded:
+            signal.signal(signum, _handler)
     except ValueError:  # pragma: no cover - non-main thread
         yield token
         return
     try:
         yield token
     finally:
-        signal.signal(signal.SIGINT, previous)
+        for signum in guarded:
+            signal.signal(signum, previous[signum])
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,12 @@ from repro.obs.events import (
     validate_events,
     validate_jsonl,
 )
-from repro.obs.flight import FlightRecorder, load_dump, render_postmortem
+from repro.obs.flight import (
+    FlightRecorder,
+    default_dump_path,
+    load_dump,
+    render_postmortem,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -80,6 +85,7 @@ __all__ = [
     "Histogram",
     "Timer",
     "FlightRecorder",
+    "default_dump_path",
     "load_dump",
     "render_postmortem",
 ]

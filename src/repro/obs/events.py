@@ -27,10 +27,13 @@ execution events (``shard_plan``, ``shard_merge``) for
 plane: ``metrics_snapshot`` (the solve's merged
 :class:`~repro.obs.metrics.MetricsRegistry`) and ``worker_telemetry``
 (one per shard, relaying the worker's locally collected metrics and
-per-rule statistics back through the barrier).
+per-rule statistics back through the barrier); v6 — request-scoped
+serving events (``request_start``, ``request_end``, ``request_shed``,
+``server_drain``) emitted by the ``repro serve`` request supervisor and
+lifecycle layer (see docs/SERVING.md).
 
 The validator accepts every version it knows
-(:data:`SUPPORTED_VERSIONS`, currently v1–v5): an event type is checked
+(:data:`SUPPORTED_VERSIONS`, currently v1–v6): an event type is checked
 against the version the event declares (:data:`EVENT_SINCE` records
 when each type joined the schema), so an old trace validates under the
 rules of *its* version and a trace from a future schema fails with a
@@ -43,7 +46,7 @@ import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Version stamped into every event's ``v`` field.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Every schema version this validator understands.
 SUPPORTED_VERSIONS = frozenset(range(1, SCHEMA_VERSION + 1))
@@ -193,6 +196,42 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[Tuple[type, ...], bool]]] = {
     "metrics_snapshot": {
         "metrics": ((dict,), True),
     },
+    # -- serving events (v6): the ``repro serve`` request plane --------
+    # One per admitted request, before the solve thread starts.
+    "request_start": {
+        "request": ((str,), True),  # opaque per-process request id
+        "database": ((str,), True),
+        "query": (_OPT_STR, False),
+    },
+    # One per finished request: the supervisor outcome and its HTTP
+    # mapping (docs/SERVING.md).  ``postmortem`` references the flight
+    # dump written for abnormal endings; ``checkpoint`` the drain
+    # checkpoint of a still-running solve.
+    "request_end": {
+        "request": ((str,), True),
+        "database": ((str,), True),
+        "status": ((str,), True),  # complete | timeout | ... | error
+        "http_status": ((int,), True),
+        "wall_s": (_NUM, True),
+        "atoms": (_OPT_INT, False),
+        "postmortem": (_OPT_STR, False),
+        "checkpoint": (_OPT_STR, False),
+    },
+    # One per load-shed request: admission control refused it because
+    # the in-flight and queue bounds were both saturated (HTTP 503).
+    "request_shed": {
+        "request": ((str,), True),
+        "inflight": ((int,), True),
+        "queued": ((int,), True),
+        "retry_after": (_NUM, True),
+    },
+    # Once per graceful shutdown: the drain summary (docs/SERVING.md).
+    "server_drain": {
+        "inflight": ((int,), True),
+        "cancelled": ((int,), True),
+        "checkpointed": ((int,), True),
+        "wall_s": (_NUM, True),
+    },
 }
 
 #: Schema version each event type joined in (validation is relative to
@@ -216,6 +255,10 @@ EVENT_SINCE: Dict[str, int] = {
     "shard_merge": 4,
     "worker_telemetry": 5,
     "metrics_snapshot": 5,
+    "request_start": 6,
+    "request_end": 6,
+    "request_shed": 6,
+    "server_drain": 6,
 }
 assert set(EVENT_SINCE) == set(EVENT_TYPES)
 

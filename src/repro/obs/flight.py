@@ -18,6 +18,8 @@ docs/OBSERVABILITY.md ("Flight recorder lifecycle").
 from __future__ import annotations
 
 import json
+import os
+import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Tuple
 
@@ -25,6 +27,7 @@ from repro.obs.events import SCHEMA_VERSION
 
 __all__ = [
     "FlightRecorder",
+    "default_dump_path",
     "load_dump",
     "render_postmortem",
 ]
@@ -32,6 +35,29 @@ __all__ = [
 #: Default ring size: enough to cover the interesting tail (the last
 #: few fixpoint rounds plus the end-of-solve flush) at trivial memory.
 DEFAULT_CAPACITY = 256
+
+
+def default_dump_path(directory: str = ".") -> str:
+    """A collision-safe postmortem path: timestamp + pid suffix.
+
+    Concurrent solves (several CLI processes, or the ``repro serve``
+    request threads) must never clobber each other's postmortems, so the
+    default filename embeds a UTC timestamp, the process id, and — for
+    same-second dumps within one process — a monotonically increasing
+    sequence number.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    pid = os.getpid()
+    candidate = os.path.join(
+        directory, f"repro-postmortem-{stamp}-{pid}.jsonl"
+    )
+    attempt = 1
+    while os.path.exists(candidate):
+        candidate = os.path.join(
+            directory, f"repro-postmortem-{stamp}-{pid}-{attempt}.jsonl"
+        )
+        attempt += 1
+    return candidate
 
 
 class FlightRecorder:
@@ -85,7 +111,10 @@ def load_dump(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
 
     Raises ``ValueError`` for files that are not flight-recorder dumps
     (so ``repro postmortem`` can fail with a clear message instead of a
-    traceback on, say, a plain ``--trace`` file).
+    traceback on, say, a plain ``--trace`` file), and for **truncated**
+    dumps: a process killed mid-write leaves a partial trailing line or
+    fewer events than the header's ``retained`` count promises, and a
+    debrief from half a ring would silently misattribute the crash.
     """
     with open(path, encoding="utf-8") as handle:
         lines = [line for line in (raw.strip() for raw in handle) if line]
@@ -105,9 +134,19 @@ def load_dump(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
         try:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:{lineno}: not JSONL ({exc})") from exc
+            raise ValueError(
+                f"{path}:{lineno}: truncated dump — line is not valid "
+                f"JSON ({exc}); the writer was probably killed mid-dump"
+            ) from exc
         if isinstance(event, dict):
             events.append(event)
+    retained = header.get("retained")
+    if isinstance(retained, int) and len(events) < retained:
+        raise ValueError(
+            f"{path}: truncated dump — header promises {retained} "
+            f"retained events but only {len(events)} are present; the "
+            f"writer was probably killed mid-dump"
+        )
     return header, events
 
 

@@ -21,6 +21,39 @@ def quick_report(**kwargs):
 
 
 class TestRunSuite:
+    def test_cancel_before_suite_marks_report(self):
+        """A SIGINT/SIGTERM-tripped token stops the suite between
+        workloads and the report says so (docs/ROBUSTNESS.md §3)."""
+        from repro.engine.supervisor import CancelToken
+
+        cancel = CancelToken()
+        cancel.cancel("SIGTERM")
+        report = quick_report(only=["circuit"], cancel=cancel)
+        assert report["cancelled"] is True
+        assert report["workloads"] == {}
+
+    def test_cancel_during_final_workload_marks_report(self):
+        """A cancel landing mid-way through the *last* workload still
+        marks the report partial — its record skipped the untimed
+        traced/memory follow-up repetitions."""
+
+        class _TrippingToken:
+            # Polled once before the workload and once before its only
+            # repetition; the signal "lands" after that, so the timed
+            # run completes but the follow-ups and the suite stop.
+            polls = 0
+
+            @property
+            def cancelled(self):
+                self.polls += 1
+                return self.polls > 2
+
+        report = quick_report(only=["circuit"], cancel=_TrippingToken())
+        assert report["cancelled"] is True
+        record = report["workloads"]["circuit"]
+        assert record["index_stats"] == {}
+        assert "mem_peak_bytes" not in record
+
     def test_report_shape(self):
         report = quick_report(only=["circuit"])
         assert report["suite"] == "repro-bench"

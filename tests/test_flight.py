@@ -1,6 +1,7 @@
 """The flight recorder: ring semantics, dumps, and ``repro postmortem``."""
 
 import json
+import os
 
 import pytest
 
@@ -197,3 +198,108 @@ class TestFlightCli:
         assert code == 0
         capsys.readouterr()
         assert not dump.exists()
+
+    def test_flight_size_caps_the_retained_ring(self, tmp_path, capsys):
+        dump = str(tmp_path / "fr.jsonl")
+        code = main(
+            [
+                "solve",
+                "--program",
+                "shortest-path",
+                "--facts",
+                self.chain_facts(tmp_path),
+                "--max-iterations",
+                "3",
+                "--flight",
+                dump,
+                "--flight-size",
+                "4",
+            ]
+        )
+        assert code == 4  # EXIT_BUDGET
+        capsys.readouterr()
+        header, events = load_dump(dump)
+        assert header["retained"] == len(events) <= 4
+
+    def test_dump_path_defaults_to_collision_safe_name(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Without ``--flight PATH`` the dump lands on the timestamped
+        pid-suffixed default, so concurrent CLI runs never clobber.
+        (``--stats`` arms the tracer ring without naming a dump path.)"""
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "solve",
+                "--program",
+                "shortest-path",
+                "--facts",
+                self.chain_facts(tmp_path),
+                "--max-iterations",
+                "3",
+                "--stats",
+            ]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "flight recorder dump written" in err
+        dumps = sorted(tmp_path.glob("repro-postmortem-*.jsonl"))
+        assert len(dumps) == 1
+        assert f"-{os.getpid()}" in dumps[0].name
+        header, events = load_dump(str(dumps[0]))
+        assert header["status"] == "partial"
+        assert events
+
+    def test_postmortem_on_truncated_dump_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        dump = str(tmp_path / "fr.jsonl")
+        code = main(
+            [
+                "solve",
+                "--program",
+                "shortest-path",
+                "--facts",
+                self.chain_facts(tmp_path),
+                "--max-iterations",
+                "3",
+                "--flight",
+                dump,
+            ]
+        )
+        assert code == 4
+        capsys.readouterr()
+        lines = open(dump).read().splitlines()
+        assert len(lines) > 2
+        # Drop the final events: the header now promises more than the
+        # file holds — the reader must refuse, loudly.
+        with open(dump, "w") as fh:
+            fh.write("\n".join(lines[:2]) + "\n")
+        assert main(["postmortem", dump]) == 1  # EXIT_USAGE
+        assert "truncated dump" in capsys.readouterr().err
+
+    def test_postmortem_on_mangled_line_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        dump = str(tmp_path / "fr.jsonl")
+        code = main(
+            [
+                "solve",
+                "--program",
+                "shortest-path",
+                "--facts",
+                self.chain_facts(tmp_path),
+                "--max-iterations",
+                "3",
+                "--flight",
+                dump,
+            ]
+        )
+        assert code == 4
+        capsys.readouterr()
+        raw = open(dump).read()
+        # Chop the file mid-line: a half-written record from a crash.
+        with open(dump, "w") as fh:
+            fh.write(raw[: len(raw) - 20])
+        assert main(["postmortem", dump]) == 1
+        assert "truncated dump" in capsys.readouterr().err

@@ -348,7 +348,7 @@ class TestMultiVersionValidation:
         assert validate_events(events) == []
 
     def test_unknown_version_error_names_the_version(self):
-        for version in (0, 6, 99):
+        for version in (0, SCHEMA_VERSION + 1, 99):
             event = {"v": version, "seq": 1, "t": 0.0, "type": "trace_start"}
             assert any(
                 f"schema version {version}" in p

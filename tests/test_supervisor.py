@@ -204,6 +204,40 @@ class TestCancellation:
             assert signal.getsignal(signal.SIGINT) is not previous
         assert signal.getsignal(signal.SIGINT) is previous
 
+    def test_sigterm_mid_solve_cancels_gracefully(self):
+        """An orchestrator's SIGTERM lands exactly like Ctrl-C: the
+        solve stops at a cooperative boundary with a checkpoint instead
+        of the process dying mid-mutation."""
+        from repro.testing import Fault, FaultPlan, inject
+
+        db = make_db(DIVERGING)
+        token = CancelToken()
+        plan = FaultPlan(
+            [
+                Fault(
+                    "rule_firing",
+                    action="call",
+                    at=40,
+                    call=lambda seam, detail: signal.raise_signal(
+                        signal.SIGTERM
+                    ),
+                )
+            ]
+        )
+        with sigint_cancels(token):
+            with inject(plan):
+                result = db.solve(cancel=token)
+        assert result.status == "cancelled"
+        assert result.reason == "SIGTERM"
+        assert result.checkpoint is not None
+        assert db.query("s") is not None
+
+    def test_sigterm_handler_is_restored(self):
+        previous = signal.getsignal(signal.SIGTERM)
+        with sigint_cancels(CancelToken()):
+            assert signal.getsignal(signal.SIGTERM) is not previous
+        assert signal.getsignal(signal.SIGTERM) is previous
+
     def test_resume_after_cancel_matches_uninterrupted(self):
         db = make_db(SHORTEST_PATH)
         token = CancelToken()
